@@ -1,0 +1,52 @@
+// Command motifbench regenerates the paper's evaluation artifacts (every
+// table and figure of §6, plus the motivating demonstrations of §1-2) as
+// text tables.
+//
+// Usage:
+//
+//	motifbench [-exp all|T1|F2|F3|F4|T3|F13..F21] [-scale small|full]
+//	           [-seed N] [-brute-budget 15s] [-list]
+//
+// Every timing experiment cross-checks that all algorithms return the same
+// optimal motif distance, so a full run doubles as an end-to-end exactness
+// test of the implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trajmotif/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1, F2, F3, F4, T3, F13..F21) or 'all'")
+	scale := flag.String("scale", "small", "experiment sizing: 'small' (minutes) or 'full' (paper sizes, hours)")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	budget := flag.Duration("brute-budget", 15*time.Second, "per-run BruteDP budget before truncation")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:       bench.Scale(*scale),
+		Seed:        *seed,
+		BruteBudget: *budget,
+	}
+	if cfg.Scale != bench.ScaleSmall && cfg.Scale != bench.ScaleFull {
+		fmt.Fprintf(os.Stderr, "motifbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command motiffind discovers the motif — the most similar pair of
+// non-overlapping subtrajectories under the discrete Fréchet distance —
+// in one trajectory file, or between two.
+//
+// Usage:
+//
+//	motiffind -xi 100 walk.plt
+//	motiffind -xi 100 -algo btm day1.csv day2.csv
+//	motiffind -xi 50 -algo gtmstar -tau 64 -stats big.plt
+//
+// Input files may be GeoLife .plt or CSV ("lat,lng[,unix]").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trajmotif"
+)
+
+func main() {
+	xi := flag.Int("xi", 100, "minimum motif length ξ (each leg spans > ξ steps)")
+	algo := flag.String("algo", "gtm", "algorithm: brutedp, btm, gtm, gtmstar")
+	tau := flag.Int("tau", trajmotif.DefaultTau, "initial group size for gtm/gtmstar")
+	stats := flag.Bool("stats", false, "print search statistics")
+	topk := flag.Int("k", 1, "report the k best mutually disjoint motifs (single trajectory, k>1 uses the BTM engine)")
+	epsilon := flag.Float64("epsilon", 0, "approximation slack: result within (1+ε) of optimal; 0 is exact")
+	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: motiffind [flags] trajectory.(plt|csv) [second.(plt|csv)]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	t, err := trajmotif.ReadFile(args[0])
+	fatal(err)
+	var u *trajmotif.Trajectory
+	if len(args) == 2 {
+		u, err = trajmotif.ReadFile(args[1])
+		fatal(err)
+	}
+
+	opt := &trajmotif.Options{Epsilon: *epsilon}
+
+	if *topk > 1 {
+		var results []trajmotif.Result
+		start := time.Now()
+		if u == nil {
+			results, err = trajmotif.TopK(t, *xi, *topk, opt)
+		} else {
+			results, err = trajmotif.TopKBetween(t, u, *xi, *topk, opt)
+		}
+		fatal(err)
+		for rank, res := range results {
+			fmt.Printf("#%d  DFD %.2f m  legs %v / %v\n", rank+1, res.Distance, res.A, res.B)
+		}
+		fmt.Printf("found %d disjoint motifs in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	start := time.Now()
+	var res *trajmotif.Result
+	switch *algo {
+	case "brutedp":
+		if u == nil {
+			res, err = trajmotif.BruteDP(t, *xi, nil)
+		} else {
+			res, err = trajmotif.BruteDPBetween(t, u, *xi, nil)
+		}
+	case "btm":
+		if u == nil {
+			res, err = trajmotif.BTM(t, *xi, nil)
+		} else {
+			res, err = trajmotif.BTMBetween(t, u, *xi, nil)
+		}
+	case "gtm", "gtmstar":
+		var gr *trajmotif.GroupResult
+		switch {
+		case *algo == "gtm" && u == nil:
+			gr, err = trajmotif.GTM(t, *xi, *tau, opt)
+		case *algo == "gtm":
+			gr, err = trajmotif.GTMBetween(t, u, *xi, *tau, opt)
+		case u == nil:
+			gr, err = trajmotif.GTMStar(t, *xi, *tau, opt)
+		default:
+			gr, err = trajmotif.GTMStarBetween(t, u, *xi, *tau, opt)
+		}
+		if gr != nil {
+			res = &gr.Result
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "motiffind: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	fatal(err)
+	elapsed := time.Since(start)
+
+	fmt.Printf("motif distance: %.2f m (discrete Fréchet)\n", res.Distance)
+	describeLeg("leg A", t, res.A)
+	if u == nil {
+		describeLeg("leg B", t, res.B)
+	} else {
+		describeLeg("leg B", u, res.B)
+	}
+	fmt.Printf("found in %v with %s\n", elapsed.Round(time.Millisecond), *algo)
+	if *stats {
+		s := res.Stats
+		fmt.Printf("candidate subsets: %d, processed: %d (pruned %.2f%%), DP cells: %d, ~%.1f MB\n",
+			s.Subsets, s.SubsetsProcessed, 100*s.PruneRatio(), s.DPCells,
+			float64(s.PeakBytes)/(1<<20))
+	}
+	if *geoOut != "" && u == nil {
+		f, err := os.Create(*geoOut)
+		fatal(err)
+		fatal(trajmotif.WriteGeoJSON(f, t, res))
+		fatal(f.Close())
+		fmt.Printf("wrote %s (view it in any GeoJSON map tool)\n", *geoOut)
+	}
+}
+
+func describeLeg(label string, t *trajmotif.Trajectory, sp trajmotif.Span) {
+	fmt.Printf("%s: points %d..%d (%d samples)", label, sp.Start, sp.End, sp.Len())
+	if first, last, ok := t.TimeRange(sp); ok {
+		fmt.Printf(", %s -> %s", first.Format("2006-01-02 15:04:05"), last.Format("15:04:05"))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motiffind: %v\n", err)
+		os.Exit(1)
+	}
+}

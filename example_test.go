@@ -1,0 +1,66 @@
+package trajmotif_test
+
+import (
+	"fmt"
+	"log"
+
+	"trajmotif"
+)
+
+// ExampleDiscover finds the motif of a synthetic pedestrian trajectory —
+// the same commute walked on different days.
+func ExampleDiscover() {
+	t, err := trajmotif.GenerateDataset(trajmotif.GeoLife, trajmotif.DatasetConfig{Seed: 7, N: 800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := trajmotif.Discover(t, 40, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legs %v and %v, DFD %.1f m\n", res.A, res.B, res.Distance)
+	// Output: legs [37..78] and [753..796], DFD 10.9 m
+}
+
+// ExampleDFD computes the discrete Fréchet distance between two short
+// planar tracks.
+func ExampleDFD() {
+	a := []trajmotif.Point{{Lat: 0, Lng: 0}, {Lat: 0, Lng: 1}, {Lat: 0, Lng: 2}}
+	b := []trajmotif.Point{{Lat: 1, Lng: 0}, {Lat: 1, Lng: 1}, {Lat: 1, Lng: 2}}
+	fmt.Printf("%.1f\n", trajmotif.DFD(a, b, trajmotif.Euclidean))
+	// Output: 1.0
+}
+
+// ExampleTopK lists the three best mutually disjoint motifs.
+func ExampleTopK() {
+	t, err := trajmotif.GenerateDataset(trajmotif.Baboon, trajmotif.DatasetConfig{Seed: 31, N: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	motifs, err := trajmotif.TopK(t, 20, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, m := range motifs {
+		fmt.Printf("#%d spans %v / %v\n", rank+1, m.A.Len(), m.B.Len())
+	}
+	fmt.Println(len(motifs), "motifs")
+}
+
+// ExampleSimilarityJoin pairs up fleet trajectories within a DFD radius.
+func ExampleSimilarityJoin() {
+	var fleet []*trajmotif.Trajectory
+	for seed := int64(1); seed <= 3; seed++ {
+		t, err := trajmotif.GenerateDataset(trajmotif.Truck, trajmotif.DatasetConfig{Seed: seed, N: 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleet = append(fleet, t)
+	}
+	pairs, _, err := trajmotif.SimilarityJoin(fleet, 50000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pairs within 50 km DFD:", len(pairs))
+	// Output: pairs within 50 km DFD: 3
+}

@@ -1,0 +1,80 @@
+// Pattern mining beyond the single best motif (the paper's §7 future-work
+// directions as working features): top-k disjoint motifs, (1+ε)-
+// approximate discovery, subtrajectory clustering, and a similarity join
+// over a small fleet — all on the wildlife workload.
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trajmotif"
+)
+
+func main() {
+	t, err := trajmotif.GenerateDataset(trajmotif.Baboon, trajmotif.DatasetConfig{Seed: 31, N: 700})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xi := 25
+
+	// 1. Top-k: the three best mutually disjoint motifs.
+	fmt.Println("-- top-3 disjoint motifs --")
+	motifs, err := trajmotif.TopK(t, xi, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, m := range motifs {
+		fmt.Printf("#%d  DFD %6.1f m  %v / %v\n", rank+1, m.Distance, m.A, m.B)
+	}
+
+	// 2. Approximate discovery: trade a bounded slack for speed.
+	fmt.Println("\n-- exact vs (1+ε)-approximate --")
+	for _, eps := range []float64{0, 0.5} {
+		start := time.Now()
+		res, err := trajmotif.BTM(t, xi, &trajmotif.Options{Epsilon: eps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ε=%.1f: DFD %.1f m, %d subsets expanded, %v\n",
+			eps, res.Distance, res.Stats.SubsetsProcessed,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	// 3. Subtrajectory clustering: habitual corridors as clusters.
+	fmt.Println("\n-- subtrajectory clusters (window 30, radius 25 m) --")
+	clusters, err := trajmotif.ClusterSubtrajectories(t, 30, 25, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, c := range clusters {
+		if k == 3 {
+			fmt.Printf("... and %d more clusters\n", len(clusters)-3)
+			break
+		}
+		fmt.Printf("cluster %d: %d traverses of corridor %v\n", k+1, c.Size(), c.Representative)
+	}
+
+	// 4. Similarity join across a small troop of collars.
+	fmt.Println("\n-- similarity join over 4 collar tracks (eps 500 m) --")
+	var troop []*trajmotif.Trajectory
+	for seed := int64(31); seed < 35; seed++ {
+		tt, err := trajmotif.GenerateDataset(trajmotif.Baboon, trajmotif.DatasetConfig{Seed: seed, N: 300})
+		if err != nil {
+			log.Fatal(err)
+		}
+		troop = append(troop, tt)
+	}
+	pairs, st, err := trajmotif.SimilarityJoin(troop, 500, &trajmotif.JoinOptions{Exact: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("tracks %d and %d within DFD %.0f m\n", p.I, p.J, p.Distance)
+	}
+	fmt.Printf("(%d candidate pairs: %d endpoint-pruned, %d box-pruned, %d DP-rejected, %d joined)\n",
+		st.Pairs, st.EndpointPruned, st.BoxPruned, st.DecisionRejected, st.Reported)
+}

@@ -1,0 +1,48 @@
+// Quickstart: generate a small pedestrian trajectory, discover its motif
+// (the most similar pair of non-overlapping subtrajectories under the
+// discrete Fréchet distance), and print where and when it happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trajmotif"
+)
+
+func main() {
+	// A synthetic GeoLife-style trajectory: three days of a pedestrian's
+	// commute with GPS noise, irregular sampling and dropouts.
+	t, err := trajmotif.GenerateDataset(trajmotif.GeoLife, trajmotif.DatasetConfig{Seed: 7, N: 800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trajectory: %d points", t.Len())
+	if st, ok := t.Sampling(); ok {
+		fmt.Printf(", sampling %v..%v (irregular=%v)", st.MinGap, st.MaxGap, st.Irregular)
+	}
+	fmt.Println()
+
+	// ξ = 40: each motif leg must span more than 40 movement steps.
+	res, err := trajmotif.Discover(t, 40, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("motif DFD: %.1f m\n", res.Distance)
+	for _, leg := range []struct {
+		name string
+		span trajmotif.Span
+	}{{"first leg ", res.A}, {"second leg", res.B}} {
+		fmt.Printf("%s: samples %d..%d", leg.name, leg.span.Start, leg.span.End)
+		if first, last, ok := t.TimeRange(leg.span); ok {
+			fmt.Printf("  (%s -> %s)", first.Format("Mon 15:04:05"), last.Format("15:04:05"))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("search: %d candidate subsets, %.1f%% pruned without a DFD computation\n",
+		res.Stats.Subsets, 100*res.Stats.PruneRatio())
+	fmt.Println("(the two legs are the same commute walked on different days)")
+}

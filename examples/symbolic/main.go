@@ -1,0 +1,68 @@
+// Symbolic pitfall (the paper's Figure 4): the symbolic motif-discovery
+// approach maps trajectories to movement-pattern strings (V/H/L/R) and
+// matches substrings — so the same street pattern driven in Beijing and
+// in Shenzhen "matches" although the routes are ~1800 km apart. DFD-based
+// discovery reports the true spatial distance.
+//
+//	go run ./examples/symbolic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trajmotif"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/symbolic"
+	"trajmotif/internal/traj"
+)
+
+// drive lays out the same R-V-L-H street pattern from a city center.
+func drive(center trajmotif.Point) *trajmotif.Trajectory {
+	legs := [][2]float64{
+		{0, 400}, {400, 0}, // north, then east  -> R
+		{0, 400}, {0, 400}, // straight north    -> V
+		{0, 400}, {-400, 0}, // north, then west -> L
+		{-400, 0}, {-400, 0}, // straight west   -> H
+	}
+	pts := []geo.Point{center}
+	cur := center
+	for _, leg := range legs {
+		for k := 1; k <= 3; k++ {
+			pts = append(pts, geo.Offset(cur, leg[0]*float64(k)/3, leg[1]*float64(k)/3))
+		}
+		cur = geo.Offset(cur, leg[0], leg[1])
+	}
+	return traj.FromPoints(pts)
+}
+
+func main() {
+	beijing := drive(trajmotif.Point{Lat: 39.9042, Lng: 116.4074})
+	shenzhen := drive(trajmotif.Point{Lat: 22.5431, Lng: 114.0579})
+
+	sa, sb, same := symbolic.SameString(beijing, shenzhen, 6)
+	fmt.Printf("Beijing route encodes to:  %s\n", sa)
+	fmt.Printf("Shenzhen route encodes to: %s\n", sb)
+	fmt.Printf("symbolic approach calls them a match: %v\n", same)
+
+	d := trajmotif.DFD(beijing.Points, shenzhen.Points, nil)
+	fmt.Printf("actual discrete Fréchet distance: %.0f km\n", d/1000)
+	fmt.Println()
+
+	// Within a single trajectory the symbolic pipeline does find repeated
+	// patterns — but ranked by string, not by geography.
+	combined := append(append([]geo.Point{}, beijing.Points...), shenzhen.Points...)
+	ct := traj.FromPoints(combined)
+	if pattern, a, b, ok := trajmotif.SymbolicDiscover(ct, 6); ok {
+		symDFD := trajmotif.DFD(ct.SubSpan(a), ct.SubSpan(b), nil)
+		fmt.Printf("symbolic motif on the concatenation: pattern %q at %v / %v\n", pattern, a, b)
+		fmt.Printf("...whose true DFD is %.0f km — a spurious motif.\n", symDFD/1000)
+	}
+
+	res, err := trajmotif.BTM(ct, 8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DFD motif on the same input: %.1f m at %v / %v — genuinely nearby subtrajectories.\n",
+		res.Distance, res.A, res.B)
+}

@@ -1,0 +1,138 @@
+package trajmotif
+
+// Facade-level tests for the extension APIs: preprocessing, top-k,
+// approximate discovery, similarity join, clustering, k-NN and GeoJSON.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadePreprocessing(t *testing.T) {
+	tr, err := GenerateDataset(GeoLife, DatasetConfig{Seed: 41, N: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := RemoveSpeedSpikes(tr, 15, nil)
+	if clean.Len() > tr.Len() {
+		t.Error("spike filter added points")
+	}
+	simp := Simplify(clean, 5, nil)
+	if simp.Len() >= clean.Len() {
+		t.Error("simplify had no effect on noisy GPS data")
+	}
+	segs := SplitOnGaps(clean, 30*time.Minute, 20)
+	if len(segs) == 0 {
+		t.Error("gap splitting returned nothing")
+	}
+	// GeoLife days include office dwells; generous thresholds find some.
+	if sps := StayPoints(tr, 120, 3*time.Minute, nil); len(sps) == 0 {
+		t.Log("no stay points at these thresholds (acceptable, generator-dependent)")
+	}
+}
+
+func TestFacadeTopKAndApprox(t *testing.T) {
+	tr, err := GenerateDataset(Baboon, DatasetConfig{Seed: 42, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs, err := TopK(tr, 15, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs")
+	}
+	exact, err := BTM(tr, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(motifs[0].Distance-exact.Distance) > 1e-9 {
+		t.Errorf("top-1 %g != exact %g", motifs[0].Distance, exact.Distance)
+	}
+	approx, err := BTM(tr, 15, &Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Distance > exact.Distance*1.3+1e-9 {
+		t.Errorf("approximation bound violated: %g vs %g", approx.Distance, exact.Distance)
+	}
+
+	a, b, _ := GenerateDatasetPair(Truck, DatasetConfig{Seed: 42, N: 200})
+	cross, err := TopKBetween(a, b, 10, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cross) == 0 {
+		t.Error("no cross motifs")
+	}
+}
+
+func TestFacadeJoinAndKNN(t *testing.T) {
+	var fleet []*Trajectory
+	for seed := int64(1); seed <= 5; seed++ {
+		tr, err := GenerateDataset(Truck, DatasetConfig{Seed: seed, N: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, tr)
+	}
+	pairs, st, err := SimilarityJoin(fleet, 15000, &JoinOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != 10 {
+		t.Errorf("join considered %d pairs, want 10", st.Pairs)
+	}
+	for _, p := range pairs {
+		if p.Distance > 15000 {
+			t.Errorf("pair (%d,%d) beyond radius: %g", p.I, p.J, p.Distance)
+		}
+	}
+
+	query, _ := GenerateDataset(Truck, DatasetConfig{Seed: 77, N: 150})
+	nbrs, _, err := NearestTrajectories(query, fleet, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0].Distance > nbrs[1].Distance {
+		t.Errorf("knn results malformed: %+v", nbrs)
+	}
+	// DFDWithin agrees with the reported distances.
+	if !DFDWithin(query.Points, fleet[nbrs[0].Index].Points, nil, nbrs[0].Distance+1) {
+		t.Error("DFDWithin contradicts knn distance")
+	}
+	if DFDWithin(query.Points, fleet[nbrs[0].Index].Points, nil, nbrs[0].Distance/2) &&
+		nbrs[0].Distance > 1 {
+		t.Error("DFDWithin accepted half the true distance")
+	}
+}
+
+func TestFacadeClusterAndGeoJSON(t *testing.T) {
+	tr, err := GenerateDataset(Baboon, DatasetConfig{Seed: 43, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ClusterSubtrajectories(tr, 30, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Error("no clusters on a corridor-looping baboon")
+	}
+
+	res, err := Discover(tr, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, tr, &res.Result); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FeatureCollection") {
+		t.Error("GeoJSON export malformed")
+	}
+}

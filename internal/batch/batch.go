@@ -1,0 +1,141 @@
+// Package batch runs motif discovery over collections of trajectories
+// with bounded concurrency. The paper's algorithms are single-threaded by
+// design (and benchmarked that way); fleets, troops and multi-day archives
+// are nevertheless embarrassingly parallel *across* trajectories, so this
+// package fans independent discoveries out over a worker pool while
+// keeping each individual search identical to the sequential one.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/group"
+	"trajmotif/internal/traj"
+)
+
+// Item is the discovery outcome for one input trajectory.
+type Item struct {
+	// Index identifies the input.
+	Index int
+	// Result is nil when Err is set.
+	Result *group.Result
+	// Err records a per-trajectory failure (e.g. core.ErrTooShort);
+	// one failing input does not abort the batch.
+	Err error
+}
+
+// Options tunes a batch run.
+type Options struct {
+	// Search options applied to every trajectory.
+	Search *core.Options
+	// Tau is the GTM initial group size; 0 selects 32 (the paper's
+	// default).
+	Tau int
+	// Workers bounds concurrency; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+func (o *Options) tau() int {
+	if o == nil || o.Tau <= 0 {
+		return 32
+	}
+	return o.Tau
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *Options) search() *core.Options {
+	if o == nil {
+		return nil
+	}
+	return o.Search
+}
+
+// Discover runs GTM motif discovery on every trajectory, fanning the
+// independent searches over a bounded worker pool. Results are returned
+// in input order; per-trajectory errors are carried in the items.
+func Discover(ts []*traj.Trajectory, xi int, opt *Options) ([]Item, error) {
+	if xi < 0 {
+		return nil, fmt.Errorf("batch: negative minimum motif length %d", xi)
+	}
+	items := make([]Item, len(ts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				t := ts[idx]
+				if t == nil || t.Len() == 0 {
+					items[idx] = Item{Index: idx, Err: fmt.Errorf("batch: nil or empty trajectory at %d", idx)}
+					continue
+				}
+				res, err := group.GTM(t, xi, opt.tau(), opt.search())
+				items[idx] = Item{Index: idx, Result: res, Err: err}
+			}
+		}()
+	}
+	for idx := range ts {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return items, nil
+}
+
+// PairItem is the outcome for one trajectory pair.
+type PairItem struct {
+	I, J   int
+	Result *group.Result
+	Err    error
+}
+
+// DiscoverAllPairs runs the two-trajectory motif discovery on every
+// unordered pair of the inputs — the batched form of the paper's Figure 21
+// workload — over a bounded worker pool. Pairs are returned in (i, j)
+// lexicographic order.
+func DiscoverAllPairs(ts []*traj.Trajectory, xi int, opt *Options) ([]PairItem, error) {
+	if xi < 0 {
+		return nil, fmt.Errorf("batch: negative minimum motif length %d", xi)
+	}
+	for k, t := range ts {
+		if t == nil || t.Len() == 0 {
+			return nil, fmt.Errorf("batch: nil or empty trajectory at %d", k)
+		}
+	}
+	type job struct{ i, j, slot int }
+	var jobList []job
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			jobList = append(jobList, job{i: i, j: j, slot: len(jobList)})
+		}
+	}
+	items := make([]PairItem, len(jobList))
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				res, err := group.GTMCross(ts[jb.i], ts[jb.j], xi, opt.tau(), opt.search())
+				items[jb.slot] = PairItem{I: jb.i, J: jb.j, Result: res, Err: err}
+			}
+		}()
+	}
+	for _, jb := range jobList {
+		jobs <- jb
+	}
+	close(jobs)
+	wg.Wait()
+	return items, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastConfig shrinks every sweep for unit testing; the real sizes run via
+// cmd/motifbench and the root benchmarks.
+func fastConfig() Config {
+	return Config{Scale: ScaleSmall, Seed: 1, BruteBudget: 2 * time.Second}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "long-header"}}
+	tbl.Add("1", "2")
+	tbl.Add("333333", "4")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a     ") {
+		t.Errorf("column not padded: %q", lines[0])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("F99", fastConfig(), &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Paper == "" || e.Title == "" {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("registry has %d experiments, want 15", len(seen))
+	}
+}
+
+// TestFastExperimentsRun executes the cheap demonstrations end to end;
+// each Run both prints its table and asserts its paper-shape property.
+func TestFastExperimentsRun(t *testing.T) {
+	for _, id := range []string{"T1", "F3", "F4", "T3"} {
+		var buf bytes.Buffer
+		if err := Run(id, fastConfig(), &buf); err != nil {
+			t.Fatalf("%s: %v\noutput:\n%s", id, err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "===") || buf.Len() < 100 {
+			t.Errorf("%s: implausibly small output:\n%s", id, buf.String())
+		}
+	}
+}
+
+// TestFigureShapesSmall runs the core sweeps at reduced size by invoking
+// their Run functions with the small config. These are the expensive
+// paths, so run only when not in -short mode.
+func TestFigureShapesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	cfg := fastConfig()
+	for _, id := range []string{"F14", "F15", "F17"} {
+		var buf bytes.Buffer
+		if err := Run(id, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v\noutput:\n%s", id, err, buf.String())
+		}
+	}
+}

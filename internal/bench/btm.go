@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/traj"
+)
+
+// tightLengths keeps the tight-bound sweeps tractable: every subset pays
+// O(ξn) for its band bound, so tight BTM scales far worse than relaxed —
+// which is the point of Figures 13-14, but must be sized accordingly.
+func (c Config) tightLengths() []int {
+	if c.Scale == ScaleFull {
+		return []int{1000, 5000, 10000}
+	}
+	return []int{100, 200, 400}
+}
+
+// runFigure13 compares tight and relaxed bounds while varying n:
+// pruning ratio (13a) and response time (13b).
+func runFigure13(cfg Config, w io.Writer) error {
+	tbl := &Table{Columns: []string{"n", "xi", "tight pruned", "relaxed pruned", "tight time", "relaxed time"}}
+	for _, n := range cfg.tightLengths() {
+		xi := cfg.xiFor(n)
+		t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+		tightDur, tightRes, err := timed(func() (*core.Result, error) {
+			return core.BTM(t, xi, &core.Options{Bounds: core.BoundsTight})
+		})
+		if err != nil {
+			return err
+		}
+		relDur, relRes, err := timed(func() (*core.Result, error) {
+			return core.BTM(t, xi, nil)
+		})
+		if err != nil {
+			return err
+		}
+		if err := checkAgreement(map[string]float64{"tight": tightRes.Distance, "relaxed": relRes.Distance}); err != nil {
+			return err
+		}
+		tbl.Add(fmt.Sprint(n), fmt.Sprint(xi),
+			fmtPct(tightRes.Stats.PruneRatio()), fmtPct(relRes.Stats.PruneRatio()),
+			fmtDur(tightDur), fmtDur(relDur))
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w, "paper Figure 13: relaxed bounds prune almost as much as tight ones but compute orders of magnitude faster.")
+	return nil
+}
+
+// runFigure14 repeats the tight-vs-relaxed comparison varying ξ at
+// fixed n.
+func runFigure14(cfg Config, w io.Writer) error {
+	n := 300
+	xis := []int{8, 16, 24}
+	if cfg.Scale == ScaleFull {
+		n, xis = 5000, []int{100, 200, 300}
+	}
+	t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+	tbl := &Table{Columns: []string{"xi", "tight pruned", "relaxed pruned", "tight time", "relaxed time"}}
+	for _, xi := range xis {
+		tightDur, tightRes, err := timed(func() (*core.Result, error) {
+			return core.BTM(t, xi, &core.Options{Bounds: core.BoundsTight})
+		})
+		if err != nil {
+			return err
+		}
+		relDur, relRes, err := timed(func() (*core.Result, error) {
+			return core.BTM(t, xi, nil)
+		})
+		if err != nil {
+			return err
+		}
+		if err := checkAgreement(map[string]float64{"tight": tightRes.Distance, "relaxed": relRes.Distance}); err != nil {
+			return err
+		}
+		tbl.Add(fmt.Sprint(xi),
+			fmtPct(tightRes.Stats.PruneRatio()), fmtPct(relRes.Stats.PruneRatio()),
+			fmtDur(tightDur), fmtDur(relDur))
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w, "paper Figure 14: larger ξ makes motifs rarer and bsf weaker; relaxed bounds stay ~10x faster end to end.")
+	return nil
+}
+
+// runFigure15 prints the stacked-bar pruning breakdown: the fraction of
+// candidate subsets eliminated by each bound, and the fraction needing
+// exact DFD, varying n and ξ.
+func runFigure15(cfg Config, w io.Writer) error {
+	breakdown := func(t *traj.Trajectory, xi int) (*core.Result, error) {
+		return core.BTM(t, xi, &core.Options{CollectBreakdown: true})
+	}
+
+	fmt.Fprintln(w, "(a) varying trajectory length n:")
+	tblN := &Table{Columns: []string{"n", "xi", "LBcell", "rLBcross", "rLBband", "DFD (survivors)"}}
+	for _, n := range cfg.lengths() {
+		xi := cfg.xiFor(n)
+		t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+		res, err := breakdown(t, xi)
+		if err != nil {
+			return err
+		}
+		addBreakdownRow(tblN, fmt.Sprint(n), fmt.Sprint(xi), res.Stats)
+	}
+	tblN.Render(w)
+
+	fmt.Fprintln(w, "(b) varying minimum motif length xi:")
+	n, xis := cfg.xiSweep()
+	t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+	tblXi := &Table{Columns: []string{"n", "xi", "LBcell", "rLBcross", "rLBband", "DFD (survivors)"}}
+	for _, xi := range xis {
+		res, err := breakdown(t, xi)
+		if err != nil {
+			return err
+		}
+		addBreakdownRow(tblXi, fmt.Sprint(n), fmt.Sprint(xi), res.Stats)
+	}
+	tblXi.Render(w)
+	fmt.Fprintln(w, "paper Figure 15: LBcell dominates; the bounds complement each other (rLBband strengthens as ξ grows while LBcell weakens).")
+	return nil
+}
+
+func addBreakdownRow(tbl *Table, nCell, xiCell string, st core.Stats) {
+	total := float64(st.Subsets)
+	if total == 0 {
+		total = 1
+	}
+	survivors := st.Subsets - st.PrunedByCell - st.PrunedByCross - st.PrunedByBand
+	tbl.Add(nCell, xiCell,
+		fmtPct(float64(st.PrunedByCell)/total),
+		fmtPct(float64(st.PrunedByCross)/total),
+		fmtPct(float64(st.PrunedByBand)/total),
+		fmtPct(float64(survivors)/total))
+}
+
+// runFigure16 compares cumulative bound variants — cell only, cell+cross,
+// cell+cross+band — on response time, varying n and ξ.
+func runFigure16(cfg Config, w io.Writer) error {
+	variants := []struct {
+		name string
+		set  core.BoundSet
+	}{
+		{"LBcell", core.BoundsCellOnly},
+		{"LBcell+rLBcross", core.BoundsCellCross},
+		{"LBcell+rLBcross+rLBband", core.BoundsRelaxed},
+	}
+
+	fmt.Fprintln(w, "(a) varying trajectory length n:")
+	tblN := &Table{Columns: []string{"n", "xi", variants[0].name, variants[1].name, variants[2].name}}
+	for _, n := range cfg.lengths() {
+		xi := cfg.xiFor(n)
+		t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+		row := []string{fmt.Sprint(n), fmt.Sprint(xi)}
+		dists := map[string]float64{}
+		for _, v := range variants {
+			dur, res, err := timed(func() (*core.Result, error) {
+				return core.BTM(t, xi, &core.Options{Bounds: v.set})
+			})
+			if err != nil {
+				return err
+			}
+			dists[v.name] = res.Distance
+			row = append(row, fmtDur(dur))
+		}
+		if err := checkAgreement(dists); err != nil {
+			return err
+		}
+		tblN.Add(row...)
+	}
+	tblN.Render(w)
+
+	fmt.Fprintln(w, "(b) varying minimum motif length xi:")
+	n, xis := cfg.xiSweep()
+	t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+	tblXi := &Table{Columns: []string{"xi", variants[0].name, variants[1].name, variants[2].name}}
+	for _, xi := range xis {
+		row := []string{fmt.Sprint(xi)}
+		dists := map[string]float64{}
+		for _, v := range variants {
+			dur, res, err := timed(func() (*core.Result, error) {
+				return core.BTM(t, xi, &core.Options{Bounds: v.set})
+			})
+			if err != nil {
+				return err
+			}
+			dists[v.name] = res.Distance
+			row = append(row, fmtDur(dur))
+		}
+		if err := checkAgreement(dists); err != nil {
+			return err
+		}
+		tblXi.Add(row...)
+	}
+	tblXi.Render(w)
+	fmt.Fprintln(w, "paper Figure 16: each added bound reduces response time; the gains are not attributable to a single bound.")
+	return nil
+}

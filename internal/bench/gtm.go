@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/group"
+	"trajmotif/internal/traj"
+)
+
+// defaultTau mirrors the paper's §6.2.3 choice.
+const defaultTau = 32
+
+// runFigure17 sweeps the initial group size τ for GTM across trajectory
+// lengths.
+func runFigure17(cfg Config, w io.Writer) error {
+	taus := []int{8, 16, 32, 64, 128}
+	tbl := &Table{Columns: append([]string{"n \\ tau"}, mapToStrings(taus)...)}
+	for _, n := range cfg.lengths()[1:] { // smallest length is noise-dominated
+		xi := cfg.xiFor(n)
+		t := dataset(datagen.GeoLifeName, n, cfg.Seed)
+		row := []string{fmt.Sprint(n)}
+		dists := map[string]float64{}
+		for _, tau := range taus {
+			dur, res, err := timedGroup(func() (*group.Result, error) {
+				return group.GTM(t, xi, tau, nil)
+			})
+			if err != nil {
+				return err
+			}
+			dists[fmt.Sprint(tau)] = res.Distance
+			row = append(row, fmtDur(dur))
+		}
+		if err := checkAgreement(dists); err != nil {
+			return err
+		}
+		tbl.Add(row...)
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w, "paper Figure 17: response time is not overly sensitive to tau; tau=32 works well across lengths.")
+	return nil
+}
+
+// methodRunner abstracts one algorithm for the method-comparison sweeps.
+type methodRunner struct {
+	name string
+	self func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error)
+	pair func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error)
+}
+
+func methods() []methodRunner {
+	wrap := func(r *core.Result, err error) (*core.Result, core.Stats, error) {
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		return r, r.Stats, nil
+	}
+	wrapG := func(r *group.Result, err error) (*core.Result, core.Stats, error) {
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		return &r.Result, r.Stats, nil
+	}
+	return []methodRunner{
+		{
+			name: "BruteDP",
+			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrap(core.BruteDP(t, xi, nil))
+			},
+			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrap(core.BruteDPCross(t, u, xi, nil))
+			},
+		},
+		{
+			name: "BTM",
+			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrap(core.BTM(t, xi, nil))
+			},
+			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrap(core.BTMCross(t, u, xi, nil))
+			},
+		},
+		{
+			name: "GTM",
+			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrapG(group.GTM(t, xi, defaultTau, nil))
+			},
+			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrapG(group.GTMCross(t, u, xi, defaultTau, nil))
+			},
+		},
+		{
+			name: "GTM*",
+			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrapG(group.GTMStar(t, xi, defaultTau, nil))
+			},
+			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
+				return wrapG(group.GTMStarCross(t, u, xi, defaultTau, nil))
+			},
+		},
+	}
+}
+
+// runFigure18 is the headline comparison: response time vs n for all four
+// methods on all three datasets, with BruteDP truncated beyond its
+// budget like the paper's 2-hour cut-off.
+func runFigure18(cfg Config, w io.Writer) error {
+	bruteAllowed := true
+	for _, name := range datagen.Names() {
+		fmt.Fprintf(w, "dataset: %s\n", name)
+		tbl := &Table{Columns: []string{"n", "xi", "BruteDP", "BTM", "GTM", "GTM*", "motif DFD (m)"}}
+		bruteAllowed = true
+		for _, n := range cfg.lengths() {
+			xi := cfg.xiFor(n)
+			t := dataset(name, n, cfg.Seed)
+			row := []string{fmt.Sprint(n), fmt.Sprint(xi)}
+			dists := map[string]float64{}
+			var motif float64
+			for _, m := range methods() {
+				if m.name == "BruteDP" && !bruteAllowed {
+					row = append(row, "— (budget)")
+					continue
+				}
+				start := time.Now()
+				res, _, err := m.self(t, xi)
+				dur := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("%s n=%d: %w", m.name, n, err)
+				}
+				dists[m.name] = res.Distance
+				motif = res.Distance
+				row = append(row, fmtDur(dur))
+				if m.name == "BruteDP" && dur > cfg.BruteBudget {
+					bruteAllowed = false // truncation policy (§6.3)
+				}
+			}
+			if err := checkAgreement(dists); err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", motif))
+			tbl.Add(row...)
+		}
+		tbl.Render(w)
+	}
+	fmt.Fprintln(w, "paper Figure 18: GTM fastest, GTM* runner-up, both far ahead of BruteDP (truncated once over budget, like the paper's 2h cut-off).")
+	return nil
+}
+
+// runFigure19 reports the principal memory of BTM, GTM and GTM* across
+// trajectory lengths.
+func runFigure19(cfg Config, w io.Writer) error {
+	for _, name := range datagen.Names() {
+		fmt.Fprintf(w, "dataset: %s\n", name)
+		tbl := &Table{Columns: []string{"n", "BTM", "GTM", "GTM*"}}
+		for _, n := range cfg.lengths() {
+			xi := cfg.xiFor(n)
+			t := dataset(name, n, cfg.Seed)
+			btmRes, err := core.BTM(t, xi, nil)
+			if err != nil {
+				return err
+			}
+			gtmRes, err := group.GTM(t, xi, defaultTau, nil)
+			if err != nil {
+				return err
+			}
+			starRes, err := group.GTMStar(t, xi, defaultTau, nil)
+			if err != nil {
+				return err
+			}
+			tbl.Add(fmt.Sprint(n),
+				fmtBytes(btmRes.Stats.PeakBytes),
+				fmtBytes(gtmRes.Stats.PeakBytes),
+				fmtBytes(starRes.Stats.PeakBytes))
+		}
+		tbl.Render(w)
+	}
+	fmt.Fprintln(w, "paper Figure 19: BTM/GTM grow O(n^2); GTM* stays near-linear, the method of choice for very long trajectories.")
+	return nil
+}
+
+// runFigure20 sweeps the minimum motif length ξ for BTM, GTM and GTM*.
+func runFigure20(cfg Config, w io.Writer) error {
+	n, xis := cfg.xiSweep()
+	for _, name := range datagen.Names() {
+		fmt.Fprintf(w, "dataset: %s (n=%d)\n", name, n)
+		t := dataset(name, n, cfg.Seed)
+		tbl := &Table{Columns: []string{"xi", "BTM", "GTM", "GTM*"}}
+		for _, xi := range xis {
+			row := []string{fmt.Sprint(xi)}
+			dists := map[string]float64{}
+			for _, m := range methods()[1:] { // skip BruteDP
+				start := time.Now()
+				res, _, err := m.self(t, xi)
+				dur := time.Since(start)
+				if err != nil {
+					return err
+				}
+				dists[m.name] = res.Distance
+				row = append(row, fmtDur(dur))
+			}
+			if err := checkAgreement(dists); err != nil {
+				return err
+			}
+			tbl.Add(row...)
+		}
+		tbl.Render(w)
+	}
+	fmt.Fprintln(w, "paper Figure 20: response time grows with ξ — long minimum lengths disqualify short, tight motifs, weakening early bsf pruning.")
+	return nil
+}
+
+// runFigure21 evaluates the two-trajectory variant: response time vs n on
+// pairs of trajectories from each dataset.
+func runFigure21(cfg Config, w io.Writer) error {
+	for _, name := range datagen.Names() {
+		fmt.Fprintf(w, "dataset: %s (two input trajectories)\n", name)
+		tbl := &Table{Columns: []string{"n", "xi", "BTM", "GTM", "GTM*", "motif DFD (m)"}}
+		for _, n := range cfg.lengths() {
+			xi := cfg.xiFor(n)
+			a, b := datasetPair(name, n, cfg.Seed)
+			row := []string{fmt.Sprint(n), fmt.Sprint(xi)}
+			dists := map[string]float64{}
+			var motif float64
+			for _, m := range methods()[1:] {
+				start := time.Now()
+				res, _, err := m.pair(a, b, xi)
+				dur := time.Since(start)
+				if err != nil {
+					return err
+				}
+				dists[m.name] = res.Distance
+				motif = res.Distance
+				row = append(row, fmtDur(dur))
+			}
+			if err := checkAgreement(dists); err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", motif))
+			tbl.Add(row...)
+		}
+		tbl.Render(w)
+	}
+	fmt.Fprintln(w, "paper Figure 21: performance on two input trajectories closely tracks the single-trajectory case.")
+	return nil
+}
+
+func timedGroup(f func() (*group.Result, error)) (time.Duration, *group.Result, error) {
+	start := time.Now()
+	res, err := f()
+	return time.Since(start), res, err
+}
+
+func mapToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for k, x := range xs {
+		out[k] = fmt.Sprint(x)
+	}
+	return out
+}

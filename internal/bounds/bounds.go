@@ -1,0 +1,405 @@
+// Package bounds implements the paper's lower-bound suite for the discrete
+// Fréchet distance (§4.2) and its O(1)-amortized relaxed variants (§4.3).
+//
+// All bounds rest on Observation 1: the DFD of a candidate subtrajectory
+// pair equals the min-max value over monotone coupling paths in the ground
+// distance grid, and such a path from start cell (i, j) to end cell
+// (ie, je) visits every column in [i, ie] and every row in [j, je].
+// Consequently:
+//
+//   - LBcell:  the path starts at (i, j), so dG(i, j) is a lower bound.
+//   - LBcross: the path crosses column i+1 and row j+1; the minima of
+//     those lines bound the DFD from below.
+//   - LBband:  with the minimum motif length ξ the path crosses ξ columns
+//     and ξ rows beyond the start; the max of per-line minima bounds DFD.
+//   - LBendcross: symmetric reasoning at the end cell prunes expansions
+//     inside a candidate subset.
+//
+// Tight bounds use the exact per-subset line ranges of Eqs. (2)-(8) and
+// cost O(n) / O(ξn) per subset. Relaxed bounds replace the ranges with
+// subset-independent supersets so per-line minima can be shared across all
+// subsets (Cmin/Rmin arrays, Eqs. (10)-(15)); a superset minimum is never
+// larger, so relaxed bounds stay valid (Lemma 2) while dropping to O(1)
+// amortized.
+//
+// Range derivation (documented in DESIGN.md; the paper's printed ranges
+// for Eqs. (10)-(11) are garbled): for the single-trajectory problem a
+// candidate rooted at (i, j) satisfies i < ie < j < je, ie >= i+ξ+1,
+// je >= j+ξ+1, hence
+//
+//   - crossings of column i+1 happen at rows j' >= j >= i+ξ+2
+//     ⇒ Cmin[i]     = min over j' in [i+ξ+2, m-1] of dG(i+1, j')
+//   - crossings of column i”+1 for the band (i” in [i, i+ξ-1]) happen at
+//     rows j' >= j >= i”+3 ⇒ CminBand[i”] = min over j' in [i”+3, m-1]
+//   - crossings of row j”+1 (j” >= j) happen at columns i' <= ie <= j-1
+//     ⇒ Rmin[j”]   = min over i' in [0, j”-1] of dG(i', j”+1)
+//
+// For the two-trajectory variant there is no ordering constraint and all
+// ranges extend to the full line. For group-level bounds (§5.2) the same
+// construction is applied to the dminG grid with separations scaled by the
+// group size; see internal/group.
+package bounds
+
+import (
+	"math"
+
+	"trajmotif/internal/dmatrix"
+)
+
+// NoBound is the sentinel for "no constraint available" (e.g. a line past
+// the grid edge). It compares below every real distance, so max() with it
+// is the identity and pruning tests never fire on it.
+var NoBound = math.Inf(-1)
+
+// Params selects the index-range discipline for a Relaxed bound set.
+type Params struct {
+	// Window is the band length: ξ at point level, floor((ξ+1)/τ) at group
+	// level. Window <= 0 disables band bounds.
+	Window int
+	// CrossSep constrains the forward self-separation: column i+1 can only
+	// be crossed at rows j' >= i + CrossSep. Points: ξ+2; groups:
+	// floor((ξ+2)/τ). Ignored when Self is false.
+	CrossSep int
+	// BandSep is the forward separation used for band column minima:
+	// column i''+1 can only be crossed at rows j' >= i'' + BandSep.
+	// Points: 3; groups: CrossSep - Window + 1 (>= 0). Ignored when Self
+	// is false.
+	BandSep int
+	// BackSep constrains the backward range: row j+1 can only be crossed
+	// at columns i' <= j - BackSep. Points: 1; groups: 0. Ignored when
+	// Self is false.
+	BackSep int
+	// Self selects the single-trajectory ranges above; when false, every
+	// line minimum ranges over the full line (two-trajectory variant).
+	Self bool
+	// UseCross gates the start-cross bound. It must be disabled at group
+	// level when a candidate may start and end in the same group
+	// (floor((ξ+1)/τ) == 0), because then the path need not leave the
+	// start cell's row or column.
+	UseCross bool
+}
+
+// PointParams returns the standard point-level parameters for minimum
+// motif length xi.
+func PointParams(xi int, self bool) Params {
+	return Params{
+		Window:   xi,
+		CrossSep: xi + 2,
+		BandSep:  3,
+		BackSep:  1,
+		Self:     self,
+		UseCross: true,
+	}
+}
+
+// GroupParams returns the group-level parameters for group size tau
+// (§5.2): separations shrink by the grouping factor and the cross bound is
+// disabled when a leg can fit inside one group.
+func GroupParams(xi, tau int, self bool) Params {
+	window := (xi + 1) / tau
+	crossSep := (xi + 2) / tau
+	bandSep := crossSep - window + 1
+	if bandSep < 0 {
+		bandSep = 0
+	}
+	return Params{
+		Window:   window,
+		CrossSep: crossSep,
+		BandSep:  bandSep,
+		BackSep:  0,
+		Self:     self,
+		UseCross: window >= 1,
+	}
+}
+
+// Relaxed holds the precomputed arrays behind the O(1)-amortized bounds of
+// §4.3: per-line minima (Cmin, Rmin, CminBand) and their sliding-window
+// maxima for the band bounds.
+type Relaxed struct {
+	p Params
+	// Cmin[i] lower-bounds any crossing of column i+1 by a feasible path
+	// of a subset rooted at column i. NoBound where undefined.
+	Cmin []float64
+	// Rmin[j] lower-bounds any crossing of row j+1.
+	Rmin []float64
+	// RowBand[j] = max over j'' in [j, j+Window-1] of Rmin[j''].
+	RowBand []float64
+	// ColBand[i] = max over i'' in [i, i+Window-1] of CminBand[i''].
+	ColBand []float64
+	// CminBand is Cmin recomputed with the looser BandSep separation,
+	// valid for every column inside a band window. Aliases Cmin when the
+	// separations coincide (cross-trajectory case).
+	CminBand []float64
+}
+
+// NewRelaxed precomputes the relaxed bound arrays for grid g in O(n*m)
+// time — amortized O(1) per candidate subset, matching Table 3.
+func NewRelaxed(g dmatrix.Grid, p Params) *Relaxed {
+	n, m := g.Dims()
+	r := &Relaxed{p: p}
+
+	// Cmin / CminBand: minima over rows j' of column line i+1.
+	r.Cmin = make([]float64, n)
+	sameSep := !p.Self // full ranges coincide in the cross variant
+	if sameSep {
+		r.CminBand = r.Cmin
+	} else {
+		r.CminBand = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		r.Cmin[i] = NoBound
+		if !sameSep {
+			r.CminBand[i] = NoBound
+		}
+		if i+1 >= n {
+			continue
+		}
+		loCross, loBand := 0, 0
+		if p.Self {
+			loCross, loBand = max(0, i+p.CrossSep), max(0, i+p.BandSep)
+		}
+		minCross, minBand := math.Inf(1), math.Inf(1)
+		for j := min(loCross, loBand); j < m; j++ {
+			d := g.At(i+1, j)
+			if j >= loBand && d < minBand {
+				minBand = d
+			}
+			if j >= loCross && d < minCross {
+				minCross = d
+			}
+		}
+		if !math.IsInf(minCross, 1) {
+			r.Cmin[i] = minCross
+		}
+		if !sameSep && !math.IsInf(minBand, 1) {
+			r.CminBand[i] = minBand
+		}
+	}
+
+	// Rmin: minima over columns i' of row line j+1.
+	r.Rmin = make([]float64, m)
+	for j := 0; j < m; j++ {
+		r.Rmin[j] = NoBound
+		if j+1 >= m {
+			continue
+		}
+		hi := n - 1
+		if p.Self {
+			hi = j - p.BackSep
+		}
+		minRow := math.Inf(1)
+		for i := 0; i <= hi && i < n; i++ {
+			if d := g.At(i, j+1); d < minRow {
+				minRow = d
+			}
+		}
+		if !math.IsInf(minRow, 1) {
+			r.Rmin[j] = minRow
+		}
+	}
+
+	r.RowBand = slidingMax(r.Rmin, p.Window)
+	r.ColBand = slidingMax(r.CminBand, p.Window)
+	return r
+}
+
+// slidingMax computes out[k] = max(vals[k .. min(k+w-1, end)]) with a
+// monotonic deque in O(len) total. w <= 1 returns vals itself (window of
+// one is the identity).
+func slidingMax(vals []float64, w int) []float64 {
+	if w <= 1 {
+		return vals
+	}
+	out := make([]float64, len(vals))
+	deque := make([]int, 0, len(vals)) // indexes, values decreasing
+	// Process right-to-left: window starts at k and extends right.
+	for k := len(vals) - 1; k >= 0; k-- {
+		for len(deque) > 0 && vals[deque[len(deque)-1]] <= vals[k] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, k)
+		if deque[0] > k+w-1 {
+			deque = deque[1:]
+		}
+		out[k] = vals[deque[0]]
+	}
+	return out
+}
+
+// StartCross is rLB_start-cross(i, j) = max(Cmin[i], Rmin[j]) (Eq. 12).
+func (r *Relaxed) StartCross(i, j int) float64 {
+	return math.Max(r.Cmin[i], r.Rmin[j])
+}
+
+// EndCross is rLB_end-cross(ie, je) = max(Cmin[ie], Rmin[je]) (Eq. 13). It
+// lower-bounds every candidate of the subset whose end cell lies strictly
+// beyond (ie, je) in both coordinates.
+func (r *Relaxed) EndCross(ie, je int) float64 {
+	return math.Max(r.Cmin[ie], r.Rmin[je])
+}
+
+// EndRowMin exposes Rmin[je] for the end-cross cap inside a subset's DP: a
+// candidate ending at any row beyond je must cross row je+1, so its DFD is
+// at least Rmin[je].
+func (r *Relaxed) EndRowMin(je int) float64 { return r.Rmin[je] }
+
+// Band is max(rLB_row-band(j), rLB_col-band(i)) (Eqs. 14-15).
+func (r *Relaxed) Band(i, j int) float64 {
+	if r.p.Window <= 0 {
+		return NoBound
+	}
+	return math.Max(r.RowBand[j], r.ColBand[i])
+}
+
+// SubsetLB combines all applicable relaxed bounds with the cell bound into
+// CS_{i,j}.LB as in §4.4: max{LBcell, rLBcross, rLBband}.
+func (r *Relaxed) SubsetLB(cell float64, i, j int) float64 {
+	lb := cell
+	if r.p.UseCross {
+		if v := r.StartCross(i, j); v > lb {
+			lb = v
+		}
+	}
+	if v := r.Band(i, j); v > lb {
+		lb = v
+	}
+	return lb
+}
+
+// Parts returns the three bound components separately (cell is passed
+// through) for the pruning-breakdown accounting of Figure 15.
+func (r *Relaxed) Parts(cell float64, i, j int) (cellLB, crossLB, bandLB float64) {
+	crossLB, bandLB = NoBound, NoBound
+	if r.p.UseCross {
+		crossLB = r.StartCross(i, j)
+	}
+	bandLB = r.Band(i, j)
+	return cell, crossLB, bandLB
+}
+
+// Tight evaluates the unrelaxed bounds of §4.2 with the paper's exact
+// per-subset ranges. Every call walks grid lines: Cross is O(n), Band is
+// O(ξn) — the costs of Table 3. Used by the tight-vs-relaxed experiments
+// (Figures 13-14).
+type Tight struct {
+	g    dmatrix.Grid
+	xi   int
+	self bool
+}
+
+// NewTight wraps a grid for tight bound evaluation.
+func NewTight(g dmatrix.Grid, xi int, self bool) *Tight {
+	return &Tight{g: g, xi: xi, self: self}
+}
+
+// Cell is LBcell(i, j) = dG(i, j) (Eq. 1).
+func (t *Tight) Cell(i, j int) float64 { return t.g.At(i, j) }
+
+// Row is LBrow(i, j) = min over i' in [i, hi] of dG(i', j+1) (Eq. 2),
+// where hi = j-1 for the single-trajectory problem and n-1 otherwise.
+func (t *Tight) Row(i, j int) float64 {
+	n, m := t.g.Dims()
+	if j+1 >= m {
+		return NoBound
+	}
+	hi := n - 1
+	if t.self && j-1 < hi {
+		hi = j - 1
+	}
+	minRow := math.Inf(1)
+	for i2 := i; i2 <= hi; i2++ {
+		if d := t.g.At(i2, j+1); d < minRow {
+			minRow = d
+		}
+	}
+	if math.IsInf(minRow, 1) {
+		return NoBound
+	}
+	return minRow
+}
+
+// Col is LBcol(i, j) = min over j' in [j, m-1] of dG(i+1, j') (Eq. 3).
+func (t *Tight) Col(i, j int) float64 {
+	n, m := t.g.Dims()
+	if i+1 >= n {
+		return NoBound
+	}
+	minCol := math.Inf(1)
+	for j2 := j; j2 < m; j2++ {
+		if d := t.g.At(i+1, j2); d < minCol {
+			minCol = d
+		}
+	}
+	if math.IsInf(minCol, 1) {
+		return NoBound
+	}
+	return minCol
+}
+
+// StartCross is LB_start-cross(i, j) = max(LBrow, LBcol) (Eq. 4).
+func (t *Tight) StartCross(i, j int) float64 {
+	return math.Max(t.Row(i, j), t.Col(i, j))
+}
+
+// RowBand is LB_row-band(i, j) = max over j' in [j, j+ξ-1] of
+// LBrow(i, j') (Eq. 5). Windows reaching past the grid are clamped, which
+// can only weaken the bound.
+func (t *Tight) RowBand(i, j int) float64 {
+	best := NoBound
+	for j2 := j; j2 < j+t.xi; j2++ {
+		if _, m := t.g.Dims(); j2 >= m {
+			break
+		}
+		if v := t.Row(i, j2); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ColBand is LB_col-band(i, j) = max over i' in [i, i+ξ-1] of
+// LBcol(i', j) (Eq. 6).
+func (t *Tight) ColBand(i, j int) float64 {
+	best := NoBound
+	for i2 := i; i2 < i+t.xi; i2++ {
+		if n, _ := t.g.Dims(); i2 >= n {
+			break
+		}
+		if v := t.Col(i2, j); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SubsetLB combines cell, cross and band tight bounds, mirroring §4.4's
+// combination rule but with the unrelaxed components.
+func (t *Tight) SubsetLB(i, j int) float64 {
+	lb := t.Cell(i, j)
+	if v := t.StartCross(i, j); v > lb {
+		lb = v
+	}
+	if v := t.RowBand(i, j); v > lb {
+		lb = v
+	}
+	if v := t.ColBand(i, j); v > lb {
+		lb = v
+	}
+	return lb
+}
+
+// Bytes reports the memory held by the relaxed arrays (Figure 19
+// accounting).
+func (r *Relaxed) Bytes() int64 {
+	total := len(r.Cmin) + len(r.Rmin)
+	if len(r.RowBand) > 0 && &r.RowBand[0] != &r.Rmin[0] {
+		total += len(r.RowBand)
+	}
+	if len(r.CminBand) > 0 && &r.CminBand[0] != &r.Cmin[0] {
+		total += len(r.CminBand)
+	}
+	if len(r.ColBand) > 0 && &r.ColBand[0] != &r.CminBand[0] {
+		total += len(r.ColBand)
+	}
+	return int64(total) * 8
+}

@@ -1,0 +1,542 @@
+// Package core implements the paper's primary contribution: exact
+// trajectory motif discovery under the discrete Fréchet distance.
+//
+// It provides the baseline BruteDP (Algorithm 1) and the bounding-based
+// BTM (Algorithm 2) for both problem variants — the motif within a single
+// trajectory (Problem 1, with the non-overlap constraint i < ie < j < je)
+// and the motif between two trajectories. The grouping-based GTM and GTM*
+// algorithms in internal/group drive the same search engine through the
+// exported Searcher type.
+//
+// The shared engine exploits the paper's observation that all candidates
+// of a candidate subset CS_{i,j} (same start cell) share one dynamic
+// program: dF[ie][je] = max(dG(ie,je), min of the three predecessors),
+// swept once per subset with two rolling rows (O(n) working space).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"trajmotif/internal/bounds"
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// BoundSet selects which lower bounds BTM uses, enabling the bound
+// ablations of Figures 13-16.
+type BoundSet int
+
+const (
+	// BoundsRelaxed is the paper's default configuration: LBcell plus the
+	// relaxed O(1)-amortized cross and band bounds (§4.3-4.4).
+	BoundsRelaxed BoundSet = iota
+	// BoundsTight uses the unrelaxed per-subset bounds of §4.2 (O(n) and
+	// O(ξn) per subset). Exponentially more expensive to evaluate over all
+	// subsets; used by the tight-vs-relaxed study (Figures 13-14).
+	BoundsTight
+	// BoundsCellOnly uses only LBcell (Figure 16's first variant).
+	BoundsCellOnly
+	// BoundsCellCross uses LBcell + relaxed cross (Figure 16's second
+	// variant).
+	BoundsCellCross
+)
+
+func (b BoundSet) String() string {
+	switch b {
+	case BoundsRelaxed:
+		return "cell+rcross+rband"
+	case BoundsTight:
+		return "tight"
+	case BoundsCellOnly:
+		return "cell"
+	case BoundsCellCross:
+		return "cell+rcross"
+	}
+	return fmt.Sprintf("BoundSet(%d)", int(b))
+}
+
+// Options tunes the search; the zero value requests the paper's defaults.
+type Options struct {
+	// Dist is the ground distance; nil selects geo.Haversine (§3).
+	Dist geo.DistanceFunc
+	// Bounds selects the bound configuration for BTM.
+	Bounds BoundSet
+	// Unsorted disables the ascending-LB processing order of §4.4
+	// ("prioritizing search order"), for the search-order ablation.
+	Unsorted bool
+	// DisableEndCross disables the within-subset end-cross cap
+	// (Alg. 2 lines 12-13), for ablation.
+	DisableEndCross bool
+	// CollectBreakdown computes the per-bound pruning attribution used by
+	// Figure 15 after the search completes. Costs one extra O(n²) pass.
+	CollectBreakdown bool
+	// Epsilon enables (1+ε)-approximate discovery, the future-work
+	// direction of the paper's §7: a candidate set is pruned once its
+	// lower bound reaches bsf/(1+ε), so the returned distance is at most
+	// (1+ε) times the optimum. Zero keeps the search exact.
+	Epsilon float64
+}
+
+func (o *Options) dist() geo.DistanceFunc {
+	if o == nil || o.Dist == nil {
+		return geo.Haversine
+	}
+	return o.Dist
+}
+
+// Stats reports search effort and memory, feeding Figures 13-16 and 19.
+type Stats struct {
+	N, M, Xi int
+
+	// Subsets is the number of feasible candidate subsets CS_{i,j}.
+	Subsets int64
+	// SubsetsProcessed survived every lower bound and had their DP run.
+	SubsetsProcessed int64
+	// DPCells is the number of dynamic-programming cells expanded.
+	DPCells int64
+
+	// Pruning attribution (filled when Options.CollectBreakdown is set):
+	// each pruned subset is credited to the first bound that disqualifies
+	// it, evaluated in the order cell, cross, band — the accounting of
+	// Figure 15.
+	PrunedByCell, PrunedByCross, PrunedByBand int64
+
+	// Approximate principal memory: grid + bound arrays + candidate list.
+	PeakBytes int64
+
+	Precompute time.Duration
+	Search     time.Duration
+}
+
+// PruneRatio returns the fraction of candidate subsets eliminated without
+// a DFD computation.
+func (s Stats) PruneRatio() float64 {
+	if s.Subsets == 0 {
+		return 0
+	}
+	return 1 - float64(s.SubsetsProcessed)/float64(s.Subsets)
+}
+
+// Result is a discovered motif: the two subtrajectory legs and their
+// discrete Fréchet distance.
+type Result struct {
+	// A is the first leg S_{i,ie}; B is the second leg S_{j,je} (of the
+	// same trajectory for Problem 1, of the second trajectory for the
+	// two-trajectory variant).
+	A, B traj.Span
+	// Distance is the exact DFD of the pair, in the ground distance's
+	// unit (meters under haversine).
+	Distance float64
+	Stats    Stats
+}
+
+// ErrTooShort is returned when no feasible candidate pair exists for the
+// given trajectory length(s) and ξ.
+var ErrTooShort = errors.New("core: trajectory too short for the requested minimum motif length")
+
+// problem captures one search instance over a ground-distance grid.
+type problem struct {
+	g    dmatrix.Grid
+	n, m int
+	xi   int
+	self bool
+}
+
+func (p problem) feasible() bool {
+	if p.self {
+		return p.n >= 2*p.xi+4
+	}
+	return p.n >= p.xi+2 && p.m >= p.xi+2
+}
+
+// startRanges yields the feasible start-cell ranges. For Problem 1 a
+// subset (i, j) is feasible iff some candidate i < ie < j < je with both
+// legs longer than ξ steps exists: j in [i+ξ+2, n-ξ-2]. For the
+// two-trajectory variant the legs are independent.
+func (p problem) iMax() int {
+	if p.self {
+		return p.n - 2*p.xi - 4
+	}
+	return p.n - p.xi - 2
+}
+
+func (p problem) jRange(i int) (lo, hi int) {
+	if p.self {
+		return i + p.xi + 2, p.n - p.xi - 2
+	}
+	return 0, p.m - p.xi - 2
+}
+
+// ieMax returns the largest candidate end index of the first leg for a
+// subset rooted at (i, j).
+func (p problem) ieMax(j int) int {
+	if p.self {
+		return j - 1
+	}
+	return p.n - 1
+}
+
+// Searcher runs candidate-subset dynamic programs while maintaining the
+// best-so-far motif (bsf). It is shared by BTM (which feeds it every
+// feasible subset in LB order) and by GTM/GTM* (which feed it only the
+// subsets surviving group-level pruning, with a bsf possibly pre-tightened
+// by group upper bounds).
+type Searcher struct {
+	p  problem
+	rb *bounds.Relaxed // nil disables end-cross capping (BruteDP)
+
+	bsf float64
+	// bestKnown records whether bsf is witnessed by a concrete pair. Group
+	// upper bounds (GUB_DFD, §5.3) may tighten bsf to the exact motif
+	// value before any pair is materialized; in that state candidates
+	// matching bsf exactly must still be accepted and subsets with
+	// LB == bsf must still be expanded, or the motif would be lost.
+	bestKnown bool
+	best      Result
+
+	endCross bool
+	stats    Stats
+
+	// approxFactor is 1+ε; Prunable compares bounds against
+	// bsf/approxFactor, which yields a (1+ε)-approximation (see
+	// Options.Epsilon). Exactly 1 for exact search.
+	approxFactor float64
+
+	// exclude, when non-nil, rejects candidate pairs during bsf updates;
+	// used by top-k discovery to mask already-reported motifs.
+	exclude func(a, b traj.Span) bool
+
+	// reusable DP rows, indexed by je - j.
+	prev, cur []float64
+}
+
+// NewSearcher builds a search engine over grid g. rb may be nil to forgo
+// end-cross capping. For the single-trajectory problem, pass self=true.
+func NewSearcher(g dmatrix.Grid, xi int, self bool, rb *bounds.Relaxed, endCross bool) *Searcher {
+	n, m := g.Dims()
+	return &Searcher{
+		p:            problem{g: g, n: n, m: m, xi: xi, self: self},
+		rb:           rb,
+		bsf:          math.Inf(1),
+		endCross:     endCross && rb != nil,
+		approxFactor: 1,
+		prev:         make([]float64, m),
+		cur:          make([]float64, m),
+	}
+}
+
+// SetEpsilon switches the searcher to (1+eps)-approximate pruning.
+// Negative values are treated as zero (exact).
+func (s *Searcher) SetEpsilon(eps float64) {
+	if eps < 0 {
+		eps = 0
+	}
+	s.approxFactor = 1 + eps
+}
+
+// SetExclude installs a candidate filter consulted before bsf updates;
+// pairs the filter rejects are never reported (top-k support). Pass nil
+// to clear.
+func (s *Searcher) SetExclude(f func(a, b traj.Span) bool) { s.exclude = f }
+
+// Bsf returns the current best-so-far distance.
+func (s *Searcher) Bsf() float64 { return s.bsf }
+
+// TightenBsf lowers bsf to ub when ub is smaller. ub must be a valid upper
+// bound on the motif distance (e.g. GUB_DFD of a feasible group pair); the
+// concrete witnessing pair is left unknown.
+func (s *Searcher) TightenBsf(ub float64) {
+	if ub < s.bsf {
+		s.bsf = ub
+		s.bestKnown = false
+	}
+}
+
+// Prunable reports whether a candidate set with lower bound lb can be
+// skipped without losing the motif (or, with ε-approximation enabled,
+// without losing the (1+ε) guarantee).
+func (s *Searcher) Prunable(lb float64) bool {
+	threshold := s.bsf
+	if s.approxFactor > 1 && !math.IsInf(threshold, 1) {
+		threshold /= s.approxFactor
+	}
+	if s.bestKnown {
+		return lb >= threshold
+	}
+	return lb > threshold
+}
+
+// ProcessSubset expands candidate subset CS_{i,j}: one dynamic program
+// over all end cells (ie, je), updating bsf whenever a feasible candidate
+// improves it. This is the shared-DP insight of Algorithm 1 lines 4-13 and
+// Algorithm 2 lines 6-11, with the end-cross cap of lines 12-13 applied
+// per subset (see DESIGN.md §1.2).
+func (s *Searcher) ProcessSubset(i, j int) {
+	p := &s.p
+	ieHi := p.ieMax(j)
+	jmax := p.m - 1
+	s.stats.SubsetsProcessed++
+
+	// Boundary row (ie = i): dF[i][je] is the running max of dG(i, j..je),
+	// the DFD of the single-point prefix against the growing second leg.
+	run := 0.0
+	for je := j; je <= jmax; je++ {
+		d := p.g.At(i, je)
+		if d > run {
+			run = d
+		}
+		s.prev[je-j] = run
+	}
+
+	// colMax tracks the boundary column dF[ie][j] = max dG(i..ie, j).
+	colMax := s.prev[0]
+	cells := int64(0)
+	for ie := i + 1; ie <= ieHi; ie++ {
+		if d := p.g.At(ie, j); d > colMax {
+			colMax = d
+		}
+		s.cur[0] = colMax
+		left := colMax
+		rowCells := jmax - j
+		for je := j + 1; je <= jmax; je++ {
+			off := je - j
+			reach := s.prev[off-1]
+			if v := s.prev[off]; v < reach {
+				reach = v
+			}
+			if left < reach {
+				reach = left
+			}
+			v := p.g.At(ie, je)
+			if reach > v {
+				v = reach
+			}
+			s.cur[off] = v
+			left = v
+
+			if ie >= i+p.xi+1 && je >= j+p.xi+1 {
+				if v < s.bsf || (!s.bestKnown && v <= s.bsf) {
+					a := traj.Span{Start: i, End: ie}
+					b := traj.Span{Start: j, End: je}
+					if s.exclude == nil || !s.exclude(a, b) {
+						s.bsf = v
+						s.bestKnown = true
+						s.best.A, s.best.B = a, b
+						s.best.Distance = v
+					}
+				}
+			}
+
+			// End-cross cap: every candidate ending at a row beyond je
+			// must cross row je+1, so its DFD is at least Rmin[je]. Once
+			// that bound disqualifies, no deeper row can win — shrink the
+			// subset's row horizon (relaxed Eq. 9/13; Alg. 2 lines 12-13).
+			if s.endCross && s.Prunable(s.rb.EndRowMin(je)) {
+				jmax = je
+				rowCells = je - j
+				break
+			}
+		}
+		cells += int64(rowCells) + 1
+		s.prev, s.cur = s.cur, s.prev
+	}
+	s.stats.DPCells += cells
+}
+
+// result finalizes the Result, verifying a witness exists.
+func (s *Searcher) result() (*Result, error) {
+	if !s.bestKnown {
+		return nil, errors.New("core: internal error: search ended without a witnessed motif")
+	}
+	r := s.best
+	r.Stats = s.stats
+	return &r, nil
+}
+
+// Result finalizes and returns the search outcome; it errors if no
+// concrete motif pair was witnessed (which, for a feasible instance fed
+// every unpruned subset, indicates a driver bug).
+func (s *Searcher) Result() (*Result, error) { return s.result() }
+
+// Stats exposes the mutable search statistics for external drivers
+// (GTM/GTM* account their grouping phases here).
+func (s *Searcher) Stats() *Stats { return &s.stats }
+
+// Feasible reports whether any candidate pair exists for this instance.
+func (s *Searcher) Feasible() bool { return s.p.feasible() }
+
+// IMax returns the largest feasible first-leg start index.
+func (s *Searcher) IMax() int { return s.p.iMax() }
+
+// JRange returns the feasible second-leg start range for first start i.
+func (s *Searcher) JRange(i int) (lo, hi int) { return s.p.jRange(i) }
+
+// BruteDP is Algorithm 1: enumerate every feasible start pair (i, j) and
+// run the shared dynamic program, with all-pair ground distances
+// precomputed. O(n⁴) time, O(n²) space.
+func BruteDP(t *traj.Trajectory, xi int, opt *Options) (*Result, error) {
+	return bruteDP(t.Points, t.Points, xi, true, opt)
+}
+
+// BruteDPCross is Algorithm 1 adapted to the two-trajectory variant (§3):
+// the second leg ranges over trajectory u, without ordering constraints.
+func BruteDPCross(t, u *traj.Trajectory, xi int, opt *Options) (*Result, error) {
+	return bruteDP(t.Points, u.Points, xi, false, opt)
+}
+
+func bruteDP(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
+	if xi < 0 {
+		return nil, fmt.Errorf("core: negative minimum motif length %d", xi)
+	}
+	start := time.Now()
+	var g *dmatrix.Matrix
+	if self {
+		g = dmatrix.ComputeSelf(a, opt.dist())
+	} else {
+		g = dmatrix.ComputeCross(a, b, opt.dist())
+	}
+	s := NewSearcher(g, xi, self, nil, false)
+	if !s.p.feasible() {
+		return nil, ErrTooShort
+	}
+	s.stats.N, s.stats.M, s.stats.Xi = s.p.n, s.p.m, xi
+	s.stats.PeakBytes = g.Bytes()
+	s.stats.Precompute = time.Since(start)
+
+	searchStart := time.Now()
+	for i := 0; i <= s.p.iMax(); i++ {
+		lo, hi := s.p.jRange(i)
+		for j := lo; j <= hi; j++ {
+			s.stats.Subsets++
+			s.ProcessSubset(i, j)
+		}
+	}
+	s.stats.Search = time.Since(searchStart)
+	return s.result()
+}
+
+// entry is one candidate subset with its combined lower bound.
+type entry struct {
+	lb   float64
+	i, j int32
+}
+
+// BTM is Algorithm 2: compute lower bounds for every candidate subset,
+// process subsets in ascending LB order, and stop as soon as the next
+// bound reaches bsf. Worst case O(n⁴), typically orders of magnitude less.
+func BTM(t *traj.Trajectory, xi int, opt *Options) (*Result, error) {
+	return btm(t.Points, t.Points, xi, true, opt)
+}
+
+// BTMCross is Algorithm 2 for the two-trajectory variant.
+func BTMCross(t, u *traj.Trajectory, xi int, opt *Options) (*Result, error) {
+	return btm(t.Points, u.Points, xi, false, opt)
+}
+
+func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
+	if xi < 0 {
+		return nil, fmt.Errorf("core: negative minimum motif length %d", xi)
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	start := time.Now()
+	var g *dmatrix.Matrix
+	if self {
+		g = dmatrix.ComputeSelf(a, opt.dist())
+	} else {
+		g = dmatrix.ComputeCross(a, b, opt.dist())
+	}
+
+	// Relaxed arrays are always built: even in tight mode they back the
+	// end-cross cap, whose relaxed form is what Alg. 2 uses at line 12.
+	rb := bounds.NewRelaxed(g, bounds.PointParams(xi, self))
+	var tb *bounds.Tight
+	if opt.Bounds == BoundsTight {
+		tb = bounds.NewTight(g, xi, self)
+	}
+
+	s := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
+	s.SetEpsilon(opt.Epsilon)
+	if !s.p.feasible() {
+		return nil, ErrTooShort
+	}
+	s.stats.N, s.stats.M, s.stats.Xi = s.p.n, s.p.m, xi
+
+	subsetLB := func(i, j int) float64 {
+		cell := g.At(i, j)
+		switch opt.Bounds {
+		case BoundsTight:
+			return tb.SubsetLB(i, j)
+		case BoundsCellOnly:
+			return cell
+		case BoundsCellCross:
+			return math.Max(cell, rb.StartCross(i, j))
+		default:
+			return rb.SubsetLB(cell, i, j)
+		}
+	}
+
+	// Build the candidate-subset list (Alg. 2 line 3).
+	var list []entry
+	for i := 0; i <= s.p.iMax(); i++ {
+		lo, hi := s.p.jRange(i)
+		for j := lo; j <= hi; j++ {
+			list = append(list, entry{lb: subsetLB(i, j), i: int32(i), j: int32(j)})
+		}
+	}
+	s.stats.Subsets = int64(len(list))
+	if !opt.Unsorted {
+		sort.Slice(list, func(x, y int) bool { return list[x].lb < list[y].lb })
+	}
+	s.stats.PeakBytes = g.Bytes() + rb.Bytes() + int64(len(list))*16
+	s.stats.Precompute = time.Since(start)
+
+	searchStart := time.Now()
+	for _, e := range list {
+		if s.Prunable(e.lb) {
+			if opt.Unsorted {
+				continue // later entries may still qualify
+			}
+			break // sorted: every remaining bound is at least as large
+		}
+		s.ProcessSubset(int(e.i), int(e.j))
+	}
+	s.stats.Search = time.Since(searchStart)
+
+	if opt.CollectBreakdown {
+		collectBreakdown(&s.stats, g, rb, s.p, s.bsf)
+	}
+	return s.result()
+}
+
+// collectBreakdown attributes each pruned subset to the first bound that
+// disqualifies it against the final bsf, evaluated cell → cross → band —
+// the stacked-bar accounting of Figure 15. Subsets no bound eliminates are
+// the ones whose exact DFD work was unavoidable.
+func collectBreakdown(st *Stats, g dmatrix.Grid, rb *bounds.Relaxed, p problem, bsf float64) {
+	st.PrunedByCell, st.PrunedByCross, st.PrunedByBand = 0, 0, 0
+	var survived int64
+	for i := 0; i <= p.iMax(); i++ {
+		lo, hi := p.jRange(i)
+		for j := lo; j <= hi; j++ {
+			cell, cross, band := rb.Parts(g.At(i, j), i, j)
+			switch {
+			case cell >= bsf:
+				st.PrunedByCell++
+			case cross >= bsf:
+				st.PrunedByCross++
+			case band >= bsf:
+				st.PrunedByBand++
+			default:
+				survived++
+			}
+		}
+	}
+	_ = survived // Subsets - pruned = survivors; derivable by callers
+}

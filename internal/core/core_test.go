@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/dist"
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+func randTraj(r *rand.Rand, n int) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := 0.0, 0.0
+	for i := range pts {
+		x += r.Float64()*2 - 1
+		y += r.Float64()*2 - 1
+		pts[i] = geo.Point{Lng: x, Lat: y}
+	}
+	return traj.FromPoints(pts)
+}
+
+// naiveSelf enumerates every feasible candidate pair and computes its DFD
+// independently (via internal/dist): the ground truth for tiny instances.
+func naiveSelf(t *traj.Trajectory, xi int) (best float64, a, b traj.Span) {
+	n := t.Len()
+	best = math.Inf(1)
+	for i := 0; i <= n-2*xi-4; i++ {
+		for ie := i + xi + 1; ie < n; ie++ {
+			for j := ie + 1; j <= n-xi-2; j++ {
+				for je := j + xi + 1; je < n; je++ {
+					d := dist.DFD(t.Points[i:ie+1], t.Points[j:je+1], geo.Euclidean)
+					if d < best {
+						best, a, b = d, traj.Span{Start: i, End: ie}, traj.Span{Start: j, End: je}
+					}
+				}
+			}
+		}
+	}
+	return best, a, b
+}
+
+func naiveCross(t, u *traj.Trajectory, xi int) float64 {
+	best := math.Inf(1)
+	for i := 0; i+xi+1 < t.Len(); i++ {
+		for ie := i + xi + 1; ie < t.Len(); ie++ {
+			for j := 0; j+xi+1 < u.Len(); j++ {
+				for je := j + xi + 1; je < u.Len(); je++ {
+					d := dist.DFD(t.Points[i:ie+1], u.Points[j:je+1], geo.Euclidean)
+					if d < best {
+						best = d
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+var euclid = &Options{Dist: geo.Euclidean}
+
+func optVariants() map[string]*Options {
+	return map[string]*Options{
+		"relaxed":     {Dist: geo.Euclidean},
+		"tight":       {Dist: geo.Euclidean, Bounds: BoundsTight},
+		"cellOnly":    {Dist: geo.Euclidean, Bounds: BoundsCellOnly},
+		"cellCross":   {Dist: geo.Euclidean, Bounds: BoundsCellCross},
+		"unsorted":    {Dist: geo.Euclidean, Unsorted: true},
+		"noEndCross":  {Dist: geo.Euclidean, DisableEndCross: true},
+		"noEndCrossU": {Dist: geo.Euclidean, DisableEndCross: true, Unsorted: true},
+	}
+}
+
+// TestBruteDPMatchesNaive pins Algorithm 1 against the independent
+// candidate-by-candidate enumeration.
+func TestBruteDPMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 12; trial++ {
+		n := 12 + r.Intn(8)
+		xi := 1 + r.Intn(2)
+		tr := randTraj(r, n)
+		want, _, _ := naiveSelf(tr, xi)
+		got, err := BruteDP(tr, xi, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Distance-want) > 1e-9 {
+			t.Fatalf("n=%d xi=%d: BruteDP %g, naive %g", n, xi, got.Distance, want)
+		}
+		// The returned pair must witness the distance and be feasible.
+		if err := traj.MotifConstraints(got.A, got.B, xi); err != nil {
+			t.Fatalf("infeasible result: %v", err)
+		}
+		d := dist.DFD(tr.SubSpan(got.A), tr.SubSpan(got.B), geo.Euclidean)
+		if math.Abs(d-got.Distance) > 1e-9 {
+			t.Fatalf("result pair DFD %g != reported %g", d, got.Distance)
+		}
+	}
+}
+
+// TestBTMEquivalence is the central exactness property: BTM under every
+// bound configuration returns the same optimal distance as BruteDP
+// (Problem 1, single trajectory).
+func TestBTMEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		n := 14 + r.Intn(12)
+		xi := 1 + r.Intn(3)
+		tr := randTraj(r, n)
+		want, err := BruteDP(tr, xi, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opt := range optVariants() {
+			got, err := BTM(tr, xi, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if math.Abs(got.Distance-want.Distance) > 1e-9 {
+				t.Fatalf("%s: BTM %g != BruteDP %g (n=%d xi=%d)",
+					name, got.Distance, want.Distance, n, xi)
+			}
+			if err := traj.MotifConstraints(got.A, got.B, xi); err != nil {
+				t.Fatalf("%s: infeasible result: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestBTMCrossEquivalence repeats exactness for the two-trajectory variant.
+func TestBTMCrossEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		n, m := 10+r.Intn(6), 10+r.Intn(6)
+		xi := 1 + r.Intn(2)
+		a, b := randTraj(r, n), randTraj(r, m)
+		want := naiveCross(a, b, xi)
+		brute, err := BruteDPCross(a, b, xi, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(brute.Distance-want) > 1e-9 {
+			t.Fatalf("BruteDPCross %g != naive %g", brute.Distance, want)
+		}
+		for name, opt := range optVariants() {
+			got, err := BTMCross(a, b, xi, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if math.Abs(got.Distance-want) > 1e-9 {
+				t.Fatalf("%s: BTMCross %g != naive %g", name, got.Distance, want)
+			}
+			// Cross-variant legs may overlap in index space (they live on
+			// different trajectories) but must satisfy the length rule.
+			if got.A.Steps() <= xi || got.B.Steps() <= xi {
+				t.Fatalf("%s: leg too short: %v %v", name, got.A, got.B)
+			}
+		}
+	}
+}
+
+// TestPlantedMotif embeds two nearly identical far-apart copies of a route
+// inside noise and checks that discovery locates them.
+func TestPlantedMotif(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	route := make([]geo.Point, 12)
+	for k := range route {
+		route[k] = geo.Point{Lng: float64(k), Lat: math.Sin(float64(k) / 2)}
+	}
+	mk := func(offset geo.Point, jitter float64) []geo.Point {
+		out := make([]geo.Point, len(route))
+		for k, p := range route {
+			out[k] = geo.Point{
+				Lng: p.Lng + offset.Lng + r.Float64()*jitter,
+				Lat: p.Lat + offset.Lat + r.Float64()*jitter,
+			}
+		}
+		return out
+	}
+	noise := func(n int, cx, cy float64) []geo.Point {
+		out := make([]geo.Point, n)
+		for k := range out {
+			out[k] = geo.Point{Lng: cx + r.Float64()*20, Lat: cy + r.Float64()*20}
+		}
+		return out
+	}
+	var pts []geo.Point
+	pts = append(pts, noise(10, 100, 40)...)
+	copy1Start := len(pts)
+	pts = append(pts, mk(geo.Point{}, 0.01)...)
+	pts = append(pts, noise(10, -100, -40)...)
+	copy2Start := len(pts)
+	pts = append(pts, mk(geo.Point{Lng: 0.05, Lat: 0.05}, 0.01)...)
+	pts = append(pts, noise(8, 140, 60)...)
+
+	tr := traj.FromPoints(pts)
+	xi := 8
+	got, err := BTM(tr, xi, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A.Start < copy1Start-2 || got.A.End >= copy1Start+len(route)+2 {
+		t.Errorf("first leg %v not inside planted copy at %d", got.A, copy1Start)
+	}
+	if got.B.Start < copy2Start-2 || got.B.End >= copy2Start+len(route)+2 {
+		t.Errorf("second leg %v not inside planted copy at %d", got.B, copy2Start)
+	}
+	if got.Distance > 1 {
+		t.Errorf("planted motif distance %g too large", got.Distance)
+	}
+}
+
+func TestTooShort(t *testing.T) {
+	tr := randTraj(rand.New(rand.NewSource(25)), 10)
+	if _, err := BTM(tr, 4, euclid); err != ErrTooShort {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+	if _, err := BruteDP(tr, 4, euclid); err != ErrTooShort {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+	short := randTraj(rand.New(rand.NewSource(26)), 4)
+	if _, err := BTMCross(short, short, 4, euclid); err != ErrTooShort {
+		t.Errorf("cross: want ErrTooShort, got %v", err)
+	}
+	if _, err := BTM(tr, -1, euclid); err == nil {
+		t.Error("negative xi should error")
+	}
+}
+
+// TestNonMonotonicity reproduces Lemma 1: the DFD of contained
+// subtrajectory pairs is neither monotone increasing nor decreasing. We
+// build a trajectory where extending a leg first lowers, then raises the
+// DFD against a fixed second leg.
+func TestNonMonotonicity(t *testing.T) {
+	// Leg B is two points at y=0, x in {100, 101}. Leg A grows from
+	// (100,5): adding (101,1) improves the coupling; then adding (150,40)
+	// ruins it.
+	a := []geo.Point{{Lat: 5, Lng: 100}, {Lat: 1, Lng: 101}, {Lat: 40, Lng: 150}}
+	b := []geo.Point{{Lat: 0, Lng: 100}, {Lat: 0, Lng: 101}}
+	d1 := dist.DFD(a[:1], b, geo.Euclidean)
+	d2 := dist.DFD(a[:2], b, geo.Euclidean)
+	d3 := dist.DFD(a[:3], b, geo.Euclidean)
+	if !(d2 < d1 && d3 > d2) {
+		t.Fatalf("expected non-monotone sequence, got %g, %g, %g", d1, d2, d3)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(27))
+	tr := randTraj(r, 40)
+	opt := &Options{Dist: geo.Euclidean, CollectBreakdown: true}
+	got, err := BTM(tr, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Stats
+	if st.Subsets <= 0 || st.SubsetsProcessed <= 0 || st.DPCells <= 0 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	if st.SubsetsProcessed > st.Subsets {
+		t.Errorf("processed %d > subsets %d", st.SubsetsProcessed, st.Subsets)
+	}
+	pruned := st.PrunedByCell + st.PrunedByCross + st.PrunedByBand
+	if pruned > st.Subsets {
+		t.Errorf("breakdown pruned %d > subsets %d", pruned, st.Subsets)
+	}
+	if ratio := st.PruneRatio(); ratio < 0 || ratio > 1 {
+		t.Errorf("prune ratio %g out of range", ratio)
+	}
+	if st.PeakBytes < int64(tr.Len()*tr.Len())*8 {
+		t.Errorf("peak bytes %d below grid size", st.PeakBytes)
+	}
+}
+
+// TestSortedBeatsUnsortedOnWork verifies the best-first claim of §4.4:
+// ascending-LB order should not process more subsets than natural order.
+func TestSortedBeatsUnsortedOnWork(t *testing.T) {
+	r := rand.New(rand.NewSource(28))
+	var sortedWork, unsortedWork int64
+	for trial := 0; trial < 6; trial++ {
+		tr := randTraj(r, 60)
+		a, err := BTM(tr, 4, &Options{Dist: geo.Euclidean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BTM(tr, 4, &Options{Dist: geo.Euclidean, Unsorted: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortedWork += a.Stats.SubsetsProcessed
+		unsortedWork += b.Stats.SubsetsProcessed
+	}
+	if sortedWork > unsortedWork {
+		t.Errorf("sorted processed %d subsets, unsorted %d — best-first should win",
+			sortedWork, unsortedWork)
+	}
+}
+
+// TestSearcherTightenBsfEquality exercises the bestKnown corner: when bsf
+// is pre-tightened to exactly the motif distance (as a group upper bound
+// can do), the search must still materialize the witnessing pair.
+func TestSearcherTightenBsfEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	tr := randTraj(r, 30)
+	xi := 2
+	want, err := BruteDP(tr, xi, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := dmatrix.ComputeSelf(tr.Points, geo.Euclidean)
+	s := NewSearcher(g, xi, true, nil, false)
+	s.TightenBsf(want.Distance) // exact motif value, no witness
+	for i := 0; i <= s.IMax(); i++ {
+		lo, hi := s.JRange(i)
+		for j := lo; j <= hi; j++ {
+			if !s.Prunable(g.At(i, j)) {
+				s.ProcessSubset(i, j)
+			}
+		}
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Distance-want.Distance) > 1e-9 {
+		t.Fatalf("equality search found %g, want %g", got.Distance, want.Distance)
+	}
+}
+
+func TestBoundSetString(t *testing.T) {
+	names := map[BoundSet]string{
+		BoundsRelaxed:   "cell+rcross+rband",
+		BoundsTight:     "tight",
+		BoundsCellOnly:  "cell",
+		BoundsCellCross: "cell+rcross",
+		BoundSet(99):    "BoundSet(99)",
+	}
+	for b, want := range names {
+		if got := b.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(b), got, want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+func TestTopKFirstEqualsMotif(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 6; trial++ {
+		tr := randTraj(r, 40)
+		xi := 2
+		want, err := BTM(tr, xi, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopK(tr, xi, 3, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("no motifs returned")
+		}
+		if math.Abs(got[0].Distance-want.Distance) > 1e-9 {
+			t.Fatalf("top-1 %g != motif %g", got[0].Distance, want.Distance)
+		}
+	}
+}
+
+func TestTopKDisjointAndOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	tr := randTraj(r, 80)
+	xi := 3
+	got, err := TopK(tr, xi, 4, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("expected several motifs, got %d", len(got))
+	}
+	var legs []traj.Span
+	for k, res := range got {
+		if k > 0 && res.Distance < got[k-1].Distance-1e-9 {
+			t.Errorf("distances not ascending: %g after %g", res.Distance, got[k-1].Distance)
+		}
+		if err := traj.MotifConstraints(res.A, res.B, xi); err != nil {
+			t.Errorf("motif %d infeasible: %v", k, err)
+		}
+		for _, l := range legs {
+			if res.A.Overlaps(l) || res.B.Overlaps(l) {
+				t.Errorf("motif %d overlaps earlier legs: %v %v vs %v", k, res.A, res.B, l)
+			}
+		}
+		legs = append(legs, res.A, res.B)
+	}
+}
+
+// TestTopKSecondIsOptimalAmongDisjoint verifies the greedy definition: the
+// second motif is the best pair disjoint from the first, cross-checked by
+// exhaustive enumeration.
+func TestTopKSecondIsOptimalAmongDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 4; trial++ {
+		tr := randTraj(r, 26)
+		xi := 1
+		got, err := TopK(tr, xi, 2, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < 2 {
+			continue // trajectory too packed for a disjoint second motif
+		}
+		first := got[0]
+		n := tr.Len()
+		best := math.Inf(1)
+		for i := 0; i <= n-2*xi-4; i++ {
+			for ie := i + xi + 1; ie < n; ie++ {
+				for j := ie + 1; j <= n-xi-2; j++ {
+					for je := j + xi + 1; je < n; je++ {
+						a := traj.Span{Start: i, End: ie}
+						b := traj.Span{Start: j, End: je}
+						if a.Overlaps(first.A) || a.Overlaps(first.B) ||
+							b.Overlaps(first.A) || b.Overlaps(first.B) {
+							continue
+						}
+						d := exactPairDFD(tr, a, b)
+						if d < best {
+							best = d
+						}
+					}
+				}
+			}
+		}
+		if math.Abs(got[1].Distance-best) > 1e-9 {
+			t.Fatalf("second motif %g, exhaustive disjoint best %g", got[1].Distance, best)
+		}
+	}
+}
+
+func exactPairDFD(tr *traj.Trajectory, a, b traj.Span) float64 {
+	pa, pb := tr.SubSpan(a), tr.SubSpan(b)
+	// Minimal rolling-rows DFD, Euclidean.
+	if len(pb) > len(pa) {
+		pa, pb = pb, pa
+	}
+	prev := make([]float64, len(pb))
+	cur := make([]float64, len(pb))
+	prev[0] = geo.Euclidean(pa[0], pb[0])
+	for j := 1; j < len(pb); j++ {
+		prev[j] = math.Max(prev[j-1], geo.Euclidean(pa[0], pb[j]))
+	}
+	for i := 1; i < len(pa); i++ {
+		cur[0] = math.Max(prev[0], geo.Euclidean(pa[i], pb[0]))
+		for j := 1; j < len(pb); j++ {
+			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = math.Max(reach, geo.Euclidean(pa[i], pb[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(pb)-1]
+}
+
+func TestTopKValidation(t *testing.T) {
+	tr := randTraj(rand.New(rand.NewSource(54)), 30)
+	if _, err := TopK(tr, 2, 0, euclid); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := TopK(tr, -1, 2, euclid); err == nil {
+		t.Error("negative xi should error")
+	}
+	short := randTraj(rand.New(rand.NewSource(55)), 6)
+	if _, err := TopK(short, 5, 2, euclid); err != ErrTooShort {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+}
+
+func TestTopKCrossDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	a, b := randTraj(r, 30), randTraj(r, 30)
+	got, err := TopKCross(a, b, 2, 3, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < len(got); x++ {
+		for y := x + 1; y < len(got); y++ {
+			if got[x].A.Overlaps(got[y].A) || got[x].B.Overlaps(got[y].B) {
+				t.Errorf("cross motifs %d and %d overlap", x, y)
+			}
+		}
+	}
+}
+
+// TestApproximateDiscovery verifies the (1+ε) guarantee of the §7
+// future-work extension and that larger ε prunes at least as much.
+func TestApproximateDiscovery(t *testing.T) {
+	r := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 8; trial++ {
+		tr := randTraj(r, 50)
+		xi := 3
+		exact, err := BTM(tr, xi, euclid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.1, 0.5, 2.0} {
+			approx, err := BTM(tr, xi, &Options{Dist: geo.Euclidean, Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if approx.Distance < exact.Distance-1e-9 {
+				t.Fatalf("approximate result %g below optimum %g", approx.Distance, exact.Distance)
+			}
+			if approx.Distance > exact.Distance*(1+eps)+1e-9 {
+				t.Fatalf("eps=%g: result %g violates (1+ε) bound on optimum %g",
+					eps, approx.Distance, exact.Distance)
+			}
+			if approx.Stats.SubsetsProcessed > exact.Stats.SubsetsProcessed {
+				t.Errorf("eps=%g processed more subsets (%d) than exact (%d)",
+					eps, approx.Stats.SubsetsProcessed, exact.Stats.SubsetsProcessed)
+			}
+		}
+	}
+}
+
+func TestApproximateNegativeEpsilonIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(58))
+	tr := randTraj(r, 40)
+	exact, _ := BTM(tr, 2, euclid)
+	neg, err := BTM(tr, 2, &Options{Dist: geo.Euclidean, Epsilon: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(neg.Distance-exact.Distance) > 1e-9 {
+		t.Errorf("negative epsilon should be exact: %g vs %g", neg.Distance, exact.Distance)
+	}
+}

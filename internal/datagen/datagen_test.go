@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/group"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Dataset(name, Config{Seed: 7, N: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Dataset(name, Config{Seed: 7, N: 500})
+		for k := range a.Points {
+			if a.Points[k] != b.Points[k] || !a.Times[k].Equal(b.Times[k]) {
+				t.Fatalf("%s: not deterministic at %d", name, k)
+			}
+		}
+		c, _ := Dataset(name, Config{Seed: 8, N: 500})
+		same := true
+		for k := range a.Points {
+			if a.Points[k] != c.Points[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical output", name)
+		}
+	}
+}
+
+func TestExactLengthAndValidity(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int{50, 333, 1200} {
+			tr, err := Dataset(name, Config{Seed: 1, N: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != n {
+				t.Fatalf("%s N=%d: got %d points", name, n, tr.Len())
+			}
+			if len(tr.Times) != n {
+				t.Fatalf("%s: missing timestamps", name)
+			}
+			for k := 1; k < n; k++ {
+				if tr.Times[k].Before(tr.Times[k-1]) {
+					t.Fatalf("%s: time went backwards at %d", name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Dataset("nope", Config{N: 10}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+// TestSamplingRegimes verifies the dataset-specific sampling claims:
+// GeoLife is irregular with dropouts, Baboon is dense 1 Hz.
+func TestSamplingRegimes(t *testing.T) {
+	gl := GeoLife(Config{Seed: 3, N: 2000})
+	st, ok := gl.Sampling()
+	if !ok {
+		t.Fatal("geolife must be timed")
+	}
+	if !st.Irregular {
+		t.Error("geolife sampling should be irregular")
+	}
+	if st.DropoutsOve == 0 {
+		t.Error("geolife should contain dropout gaps")
+	}
+
+	bb := Baboon(Config{Seed: 3, N: 2000})
+	bst, _ := bb.Sampling()
+	if bst.MeanGap.Seconds() < 0.9 || bst.MeanGap.Seconds() > 1.1 {
+		t.Errorf("baboon mean gap = %v, want ~1s", bst.MeanGap)
+	}
+}
+
+// TestRealisticSpeeds sanity-checks movement rates per dataset.
+func TestRealisticSpeeds(t *testing.T) {
+	cases := []struct {
+		name     Name
+		maxSpeed float64 // m/s tolerated between consecutive samples
+	}{
+		{GeoLifeName, 15}, // walking + GPS noise spikes
+		{TruckName, 40},   // urban driving
+		{BaboonName, 10},  // primate on foot
+	}
+	for _, c := range cases {
+		tr, _ := Dataset(c.name, Config{Seed: 5, N: 1500})
+		exceed := 0
+		for k := 1; k < tr.Len(); k++ {
+			dt := tr.Times[k].Sub(tr.Times[k-1]).Seconds()
+			if dt <= 0 {
+				continue
+			}
+			v := geo.Haversine(tr.Points[k-1], tr.Points[k]) / dt
+			if v > c.maxSpeed {
+				exceed++
+			}
+		}
+		if frac := float64(exceed) / float64(tr.Len()); frac > 0.02 {
+			t.Errorf("%s: %.1f%% of steps exceed %g m/s", c.name, frac*100, c.maxSpeed)
+		}
+	}
+}
+
+// TestGeneratorsPlantDiscoverableMotifs runs actual motif discovery on
+// each dataset: the repeated-route structure must yield a motif whose DFD
+// is small relative to the trajectory's spatial extent.
+func TestGeneratorsPlantDiscoverableMotifs(t *testing.T) {
+	for _, name := range Names() {
+		tr, _ := Dataset(name, Config{Seed: 11, N: 400})
+		xi := 20
+		res, err := group.GTM(tr, xi, 16, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sw, ne := tr.BoundingBox()
+		extent := geo.Haversine(sw, ne)
+		if res.Distance > extent/10 {
+			t.Errorf("%s: motif DFD %.1f m not small vs extent %.1f m",
+				name, res.Distance, extent)
+		}
+		if res.A.Steps() <= xi || res.B.Steps() <= xi {
+			t.Errorf("%s: motif legs too short: %v %v", name, res.A, res.B)
+		}
+	}
+}
+
+func TestPair(t *testing.T) {
+	a, b, err := Pair(TruckName, Config{Seed: 2, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 300 || b.Len() != 300 {
+		t.Fatal("pair lengths wrong")
+	}
+	identical := true
+	for k := range a.Points {
+		if a.Points[k] != b.Points[k] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("pair members must differ")
+	}
+	// Cross-trajectory motifs must exist and be discoverable: the two
+	// trucks share depot and sites.
+	res, err := core.BTMCross(a, b, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Distance, 1) {
+		t.Error("no cross motif found")
+	}
+	if _, _, err := Pair("nope", Config{N: 10}); err == nil {
+		t.Error("unknown pair dataset should error")
+	}
+}

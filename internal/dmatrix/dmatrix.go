@@ -1,0 +1,100 @@
+// Package dmatrix provides the ground-distance grid dG underlying every
+// algorithm in the paper: dG(i,j) is the ground distance between the i-th
+// point of the first leg's trajectory and the j-th point of the second
+// leg's trajectory (§3). BruteDP, BTM and GTM precompute the full matrix
+// for O(1) access (the paper's "precompute all pairs of ground distances"
+// optimization); GTM* instead evaluates distances on the fly through the
+// same Grid interface to achieve its O(n) space bound (§5.5, Idea i).
+package dmatrix
+
+import "trajmotif/internal/geo"
+
+// Grid is read-only access to ground distances between two point
+// sequences. Dims returns (n, m): At accepts 0 <= i < n, 0 <= j < m.
+type Grid interface {
+	At(i, j int) float64
+	Dims() (n, m int)
+}
+
+// Matrix is a fully materialized n x m ground-distance grid.
+type Matrix struct {
+	n, m int
+	vals []float64
+}
+
+// ComputeCross materializes the grid between two trajectories' points.
+func ComputeCross(a, b []geo.Point, df geo.DistanceFunc) *Matrix {
+	m := &Matrix{n: len(a), m: len(b), vals: make([]float64, len(a)*len(b))}
+	for i, pa := range a {
+		row := m.vals[i*m.m : (i+1)*m.m]
+		for j, pb := range b {
+			row[j] = df(pa, pb)
+		}
+	}
+	return m
+}
+
+// ComputeSelf materializes the symmetric grid of a single trajectory,
+// computing each unordered pair once.
+func ComputeSelf(pts []geo.Point, df geo.DistanceFunc) *Matrix {
+	n := len(pts)
+	m := &Matrix{n: n, m: n, vals: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := df(pts[i], pts[j])
+			m.vals[i*n+j] = d
+			m.vals[j*n+i] = d
+		}
+	}
+	return m
+}
+
+// FromRows builds a matrix from explicit row data; rows must be rectangular.
+// It backs unit tests that exercise hand-built grids.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return &Matrix{}
+	}
+	m := &Matrix{n: len(rows), m: len(rows[0]), vals: make([]float64, 0, len(rows)*len(rows[0]))}
+	for _, r := range rows {
+		if len(r) != m.m {
+			panic("dmatrix: ragged rows")
+		}
+		m.vals = append(m.vals, r...)
+	}
+	return m
+}
+
+// At returns dG(i, j).
+func (m *Matrix) At(i, j int) float64 { return m.vals[i*m.m+j] }
+
+// Dims returns the grid dimensions.
+func (m *Matrix) Dims() (int, int) { return m.n, m.m }
+
+// Bytes returns the memory footprint of the value storage, used by the
+// space-consumption experiment (Figure 19).
+func (m *Matrix) Bytes() int64 { return int64(len(m.vals)) * 8 }
+
+// Fly evaluates ground distances on demand without storing them. It is the
+// grid used by GTM* (§5.5, Idea i): each At call costs one ground-distance
+// evaluation, trading CPU for the O(n^2) matrix memory.
+type Fly struct {
+	A, B []geo.Point
+	DF   geo.DistanceFunc
+}
+
+// NewFlySelf returns an on-the-fly grid over a single trajectory.
+func NewFlySelf(pts []geo.Point, df geo.DistanceFunc) *Fly {
+	return &Fly{A: pts, B: pts, DF: df}
+}
+
+// NewFlyCross returns an on-the-fly grid between two trajectories.
+func NewFlyCross(a, b []geo.Point, df geo.DistanceFunc) *Fly {
+	return &Fly{A: a, B: b, DF: df}
+}
+
+// At computes dG(i, j) directly from the points.
+func (f *Fly) At(i, j int) float64 { return f.DF(f.A[i], f.B[j]) }
+
+// Dims returns the grid dimensions.
+func (f *Fly) Dims() (int, int) { return len(f.A), len(f.B) }

@@ -1,0 +1,90 @@
+package dmatrix
+
+import (
+	"math"
+	"testing"
+
+	"trajmotif/internal/geo"
+)
+
+func pts(xy ...float64) []geo.Point {
+	out := make([]geo.Point, len(xy)/2)
+	for i := range out {
+		out[i] = geo.Point{Lng: xy[2*i], Lat: xy[2*i+1]}
+	}
+	return out
+}
+
+func TestComputeSelfSymmetric(t *testing.T) {
+	p := pts(0, 0, 3, 4, 6, 8, 1, 1)
+	m := ComputeSelf(p, geo.Euclidean)
+	n, mm := m.Dims()
+	if n != 4 || mm != 4 {
+		t.Fatalf("Dims = %d,%d", n, mm)
+	}
+	for i := 0; i < 4; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("diagonal At(%d,%d) = %g", i, i, m.At(i, i))
+		}
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			want := geo.Euclidean(p[i], p[j])
+			if math.Abs(m.At(i, j)-want) > 1e-12 {
+				t.Errorf("At(%d,%d) = %g, want %g", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestComputeCross(t *testing.T) {
+	a := pts(0, 0, 1, 0)
+	b := pts(0, 3, 4, 0, 0, 0)
+	m := ComputeCross(a, b, geo.Euclidean)
+	n, mm := m.Dims()
+	if n != 2 || mm != 3 {
+		t.Fatalf("Dims = %d,%d", n, mm)
+	}
+	if m.At(0, 0) != 3 || m.At(0, 1) != 4 || m.At(0, 2) != 0 {
+		t.Errorf("first row wrong: %g %g %g", m.At(0, 0), m.At(0, 1), m.At(0, 2))
+	}
+	if m.Bytes() != 6*8 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g", m.At(1, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged rows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFlyEquivalence(t *testing.T) {
+	a := pts(0, 0, 1, 2, 3, 4)
+	b := pts(5, 5, 6, 6)
+	m := ComputeCross(a, b, geo.Euclidean)
+	f := NewFlyCross(a, b, geo.Euclidean)
+	fn, fm := f.Dims()
+	if fn != 3 || fm != 2 {
+		t.Fatalf("Fly dims = %d,%d", fn, fm)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != f.At(i, j) {
+				t.Errorf("mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	fs := NewFlySelf(a, geo.Euclidean)
+	if got := fs.At(1, 1); got != 0 {
+		t.Errorf("self Fly diagonal = %g", got)
+	}
+}

@@ -1,0 +1,202 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Well-known city coordinates used in distance sanity checks.
+var (
+	beijing   = Point{Lat: 39.9042, Lng: 116.4074}
+	shenzhen  = Point{Lat: 22.5431, Lng: 114.0579}
+	athens    = Point{Lat: 37.9838, Lng: 23.7275}
+	singapore = Point{Lat: 1.3521, Lng: 103.8198}
+)
+
+func TestHaversineIdentity(t *testing.T) {
+	for _, p := range []Point{beijing, athens, {}, {Lat: -90}, {Lat: 90, Lng: 179.9}} {
+		if d := Haversine(p, p); d != 0 {
+			t.Errorf("Haversine(%v,%v) = %g, want 0", p, p, d)
+		}
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64 // meters
+		tol  float64 // relative
+	}{
+		{beijing, shenzhen, 1943e3, 0.01},
+		{athens, singapore, 9120e3, 0.01},
+		// One degree of latitude is ~111.2 km everywhere.
+		{Point{0, 0}, Point{1, 0}, 111195, 0.001},
+		// One degree of longitude at 60N is half that at the equator.
+		{Point{60, 0}, Point{60, 1}, 55597, 0.001},
+	}
+	for _, c := range cases {
+		got := Haversine(c.a, c.b)
+		if rel := math.Abs(got-c.want) / c.want; rel > c.tol {
+			t.Errorf("Haversine(%v,%v) = %.0f m, want %.0f m (±%.1f%%)", c.a, c.b, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestHaversineAntipodal(t *testing.T) {
+	a := Point{Lat: 0, Lng: 0}
+	b := Point{Lat: 0, Lng: 180}
+	want := math.Pi * EarthRadiusMeters
+	if got := Haversine(a, b); math.Abs(got-want) > 1 {
+		t.Errorf("antipodal distance = %.1f, want %.1f", got, want)
+	}
+}
+
+func randomPoint(r *rand.Rand) Point {
+	return Point{Lat: r.Float64()*170 - 85, Lng: r.Float64()*360 - 180}
+}
+
+func TestHaversineProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	symmetric := func(_ int) bool {
+		a, b := randomPoint(r), randomPoint(r)
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	triangle := func(_ int) bool {
+		a, b, c := randomPoint(r), randomPoint(r), randomPoint(r)
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	a := Point{Lat: 3, Lng: 0}
+	b := Point{Lat: 0, Lng: 4}
+	if got := Euclidean(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclidean = %g, want 5", got)
+	}
+	if got := Euclidean(a, a); got != 0 {
+		t.Errorf("Euclidean identity = %g, want 0", got)
+	}
+}
+
+func TestEquirectangularApproximatesHaversineNearby(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		base := randomPoint(r)
+		if math.Abs(base.Lat) > 80 {
+			continue // projection degenerates near poles
+		}
+		near := Offset(base, r.Float64()*2000-1000, r.Float64()*2000-1000)
+		h := Haversine(base, near)
+		e := EquirectangularMeters(base, near)
+		if h > 1 && math.Abs(h-e)/h > 0.005 {
+			t.Fatalf("equirectangular error %.3f%% at %v -> %v (h=%f e=%f)",
+				100*math.Abs(h-e)/h, base, near, h, e)
+		}
+	}
+}
+
+func TestDestinationInvertsHaversine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		start := randomPoint(r)
+		brg := r.Float64() * 360
+		dist := r.Float64() * 100000 // up to 100 km
+		end := Destination(start, brg, dist)
+		if !end.Valid() {
+			t.Fatalf("Destination produced invalid point %v", end)
+		}
+		got := Haversine(start, end)
+		if math.Abs(got-dist) > 0.5 {
+			t.Fatalf("Destination round-trip: want %.2f m, got %.2f m", dist, got)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 0, Lng: 0}
+	cases := []struct {
+		to   Point
+		want float64
+	}{
+		{Point{1, 0}, 0},    // north
+		{Point{0, 1}, 90},   // east
+		{Point{-1, 0}, 180}, // south
+		{Point{0, -1}, 270}, // west
+	}
+	for _, c := range cases {
+		if got := Bearing(origin, c.to); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("Bearing(origin, %v) = %.2f, want %.2f", c.to, got, c.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lat: 0, Lng: 0}
+	b := Point{Lat: 0, Lng: 10}
+	m := Midpoint(a, b)
+	if math.Abs(m.Lng-5) > 0.01 || math.Abs(m.Lat) > 0.01 {
+		t.Errorf("Midpoint = %v, want ~(0,5)", m)
+	}
+	da, db := Haversine(a, m), Haversine(m, b)
+	if math.Abs(da-db) > 1 {
+		t.Errorf("midpoint not equidistant: %f vs %f", da, db)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		base := Point{Lat: r.Float64()*120 - 60, Lng: r.Float64()*360 - 180}
+		east := r.Float64()*1000 - 500
+		north := r.Float64()*1000 - 500
+		moved := Offset(base, east, north)
+		want := math.Sqrt(east*east + north*north)
+		got := Haversine(base, moved)
+		if want > 1 && math.Abs(got-want)/want > 0.001 {
+			t.Fatalf("Offset distance: want %.3f, got %.3f at %v", want, got, base)
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{}, {90, 180}, {-90, -180}, beijing}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{{91, 0}, {0, 181}, {-91, 0}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestNormalizeLngWrap(t *testing.T) {
+	p := Destination(Point{Lat: 0, Lng: 179.9}, 90, 50000)
+	if p.Lng > 180 || p.Lng < -180 {
+		t.Errorf("longitude not normalized: %v", p)
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Haversine(beijing, shenzhen)
+	}
+}
+
+func BenchmarkEquirectangular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EquirectangularMeters(beijing, shenzhen)
+	}
+}

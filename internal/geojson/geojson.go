@@ -1,0 +1,101 @@
+// Package geojson exports trajectories and discovered motifs as GeoJSON
+// FeatureCollections (RFC 7946) for inspection in any map viewer —
+// the practical counterpart of the paper's Figure 1(b), which renders a
+// discovered motif on a map.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// feature mirrors the GeoJSON Feature structure.
+type feature struct {
+	Type       string         `json:"type"`
+	Properties map[string]any `json:"properties"`
+	Geometry   geometry       `json:"geometry"`
+}
+
+type geometry struct {
+	Type        string      `json:"type"`
+	Coordinates [][]float64 `json:"coordinates"`
+}
+
+type collection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+func lineString(pts []geo.Point) geometry {
+	coords := make([][]float64, len(pts))
+	for k, p := range pts {
+		coords[k] = []float64{p.Lng, p.Lat} // GeoJSON is lng-first
+	}
+	return geometry{Type: "LineString", Coordinates: coords}
+}
+
+// Leg names a highlighted subtrajectory in the export.
+type Leg struct {
+	Name string
+	Span traj.Span
+	// Color is a hint most viewers honor via simplestyle "stroke".
+	Color string
+}
+
+// Write encodes the trajectory and any highlighted legs as a GeoJSON
+// FeatureCollection: one muted LineString for the full track, one strongly
+// colored LineString per leg.
+func Write(w io.Writer, t *traj.Trajectory, legs ...Leg) error {
+	if t == nil || t.Len() == 0 {
+		return fmt.Errorf("geojson: empty trajectory")
+	}
+	col := collection{Type: "FeatureCollection"}
+	col.Features = append(col.Features, feature{
+		Type: "Feature",
+		Properties: map[string]any{
+			"name":   "trajectory",
+			"stroke": "#9999aa",
+		},
+		Geometry: lineString(t.Points),
+	})
+	for k, leg := range legs {
+		if !leg.Span.Valid(t.Len()) {
+			return fmt.Errorf("geojson: leg %q has invalid span %v for %d points", leg.Name, leg.Span, t.Len())
+		}
+		color := leg.Color
+		if color == "" {
+			color = [...]string{"#e41a1c", "#377eb8", "#4daf4a", "#984ea3"}[k%4]
+		}
+		props := map[string]any{
+			"name":         leg.Name,
+			"stroke":       color,
+			"stroke-width": 4,
+			"start":        leg.Span.Start,
+			"end":          leg.Span.End,
+		}
+		if first, last, ok := t.TimeRange(leg.Span); ok {
+			props["from"] = first.Format("2006-01-02T15:04:05Z07:00")
+			props["to"] = last.Format("2006-01-02T15:04:05Z07:00")
+		}
+		col.Features = append(col.Features, feature{
+			Type:       "Feature",
+			Properties: props,
+			Geometry:   lineString(t.SubSpan(leg.Span)),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(col)
+}
+
+// WriteMotif is a convenience wrapper naming the two legs of a motif.
+func WriteMotif(w io.Writer, t *traj.Trajectory, a, b traj.Span, distance float64) error {
+	return Write(w, t,
+		Leg{Name: fmt.Sprintf("motif leg A (DFD %.1f m)", distance), Span: a, Color: "#e41a1c"},
+		Leg{Name: fmt.Sprintf("motif leg B (DFD %.1f m)", distance), Span: b, Color: "#377eb8"},
+	)
+}

@@ -1,0 +1,75 @@
+package geojson
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/traj"
+)
+
+func TestWriteMotifValidGeoJSON(t *testing.T) {
+	tr := datagen.GeoLife(datagen.Config{Seed: 3, N: 120})
+	var buf bytes.Buffer
+	err := WriteMotif(&buf, tr, traj.Span{Start: 5, End: 30}, traj.Span{Start: 60, End: 85}, 12.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", doc["type"])
+	}
+	features := doc["features"].([]any)
+	if len(features) != 3 { // track + two legs
+		t.Fatalf("features = %d, want 3", len(features))
+	}
+	// Coordinates must be lng-first.
+	first := features[0].(map[string]any)
+	coords := first["geometry"].(map[string]any)["coordinates"].([]any)
+	pt := coords[0].([]any)
+	lng, lat := pt[0].(float64), pt[1].(float64)
+	if lng < 100 || lat > 50 {
+		t.Errorf("coordinates not lng-first: [%g, %g] (Beijing is ~[116, 40])", lng, lat)
+	}
+	// Timed trajectory exports leg time ranges.
+	if !strings.Contains(buf.String(), `"from"`) {
+		t.Error("leg time range missing")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	tr := datagen.Truck(datagen.Config{Seed: 3, N: 20})
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Error("nil trajectory should error")
+	}
+	if err := Write(&buf, tr, Leg{Name: "bad", Span: traj.Span{Start: 5, End: 99}}); err == nil {
+		t.Error("invalid span should error")
+	}
+	if err := Write(&buf, tr); err != nil {
+		t.Errorf("no-legs export should work: %v", err)
+	}
+}
+
+func TestDefaultColorsCycle(t *testing.T) {
+	tr := datagen.Baboon(datagen.Config{Seed: 3, N: 60})
+	var buf bytes.Buffer
+	legs := []Leg{
+		{Name: "a", Span: traj.Span{Start: 0, End: 10}},
+		{Name: "b", Span: traj.Span{Start: 11, End: 21}},
+		{Name: "c", Span: traj.Span{Start: 22, End: 32}},
+	}
+	if err := Write(&buf, tr, legs...); err != nil {
+		t.Fatal(err)
+	}
+	for _, color := range []string{"#e41a1c", "#377eb8", "#4daf4a"} {
+		if !strings.Contains(buf.String(), color) {
+			t.Errorf("missing default color %s", color)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package group implements the paper's grouping-based solutions (§5): the
+// multi-level GTM algorithm (Algorithm 3) and its space-efficient variant
+// GTM* (§5.5).
+//
+// A trajectory is partitioned into groups of τ consecutive samples
+// (Definition 4). For each pair of groups the minimum and maximum ground
+// distances (dminG, dmaxG) bracket every point-pair distance between them
+// (Corollary 1), which lifts the point-level lower bounds of §4 to group
+// granularity (§5.2) and, through the interval DFD recurrence dFmin/dFmax
+// (Definition 5, Lemma 3), yields a lower bound GLB_DFD that prunes whole
+// group pairs and an upper bound GUB_DFD that tightens the best-so-far
+// distance before any exact DFD is computed (§5.3, Lemma 4).
+//
+// GTM repeats grouping with halved τ on the surviving pairs until τ = 1,
+// then finishes with the BTM search engine on the surviving candidate
+// subsets. GTM* performs a single grouping pass and computes ground
+// distances on the fly, bounding memory by O(max((n/τ)², n)).
+package group
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"trajmotif/internal/bounds"
+	"trajmotif/internal/core"
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// Level holds the τ-grouping of one ground-distance grid: for group pair
+// (u, v), Dmin and Dmax are dminG(g_u, g_v) and dmaxG(g_u, g_v)
+// (Eqs. 16-17).
+type Level struct {
+	Tau    int
+	NA, NB int // group counts along each axis
+	dmin   []float64
+	dmax   []float64
+}
+
+// BuildLevel scans the grid once (O(n·m) distance evaluations) and folds
+// every cell into its group pair's min/max.
+func BuildLevel(g dmatrix.Grid, tau int) *Level {
+	n, m := g.Dims()
+	lv := &Level{
+		Tau: tau,
+		NA:  (n + tau - 1) / tau,
+		NB:  (m + tau - 1) / tau,
+	}
+	lv.dmin = make([]float64, lv.NA*lv.NB)
+	lv.dmax = make([]float64, lv.NA*lv.NB)
+	for k := range lv.dmin {
+		lv.dmin[k] = math.Inf(1)
+		lv.dmax[k] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		gi := i / tau
+		row := lv.dmin[gi*lv.NB : (gi+1)*lv.NB]
+		rowMax := lv.dmax[gi*lv.NB : (gi+1)*lv.NB]
+		for j := 0; j < m; j++ {
+			d := g.At(i, j)
+			gj := j / tau
+			if d < row[gj] {
+				row[gj] = d
+			}
+			if d > rowMax[gj] {
+				rowMax[gj] = d
+			}
+		}
+	}
+	return lv
+}
+
+// Dmin returns dminG(g_u, g_v).
+func (lv *Level) Dmin(u, v int) float64 { return lv.dmin[u*lv.NB+v] }
+
+// Dmax returns dmaxG(g_u, g_v).
+func (lv *Level) Dmax(u, v int) float64 { return lv.dmax[u*lv.NB+v] }
+
+// Bytes returns the level's storage footprint (Figure 19 accounting).
+func (lv *Level) Bytes() int64 { return int64(len(lv.dmin)+len(lv.dmax)) * 8 }
+
+// minGrid adapts the Dmin matrix to the bounds.Grid interface so the
+// relaxed bound machinery of §4.3 runs unchanged at group granularity
+// (§5.2, "relaxed lower bounds for groups").
+type minGrid struct{ lv *Level }
+
+func (g minGrid) At(u, v int) float64 { return g.lv.Dmin(u, v) }
+func (g minGrid) Dims() (int, int)    { return g.lv.NA, g.lv.NB }
+
+// DFDBounds computes GLB_DFD(u, v) and GUB_DFD(u, v) (Eqs. 19-20) by the
+// interval DFD dynamic program of Definition 5, with the early-termination
+// rule of §5.3: once the minimum over the DP frontier row can no longer
+// improve either bound, the computation stops.
+//
+// glb lower-bounds the DFD of every candidate rooted in (g_u, g_v)
+// (subject to the minimum length ξ); gub, when finite, is the exact-DFD
+// upper bound of a concrete feasible full-group pair and may therefore be
+// used to tighten bsf. nPoints/mPoints are the underlying trajectory
+// lengths, needed to honor length and overlap constraints on partial last
+// groups.
+func (lv *Level) DFDBounds(u, v, xi int, self bool, nPoints, mPoints int) (glb, gub float64) {
+	gxi := (xi + 1) / lv.Tau
+	ueHi := lv.NA - 1
+	if self && v < ueHi {
+		ueHi = v // the first leg ends before the second starts (ie < j)
+	}
+	veHi := lv.NB - 1
+
+	glb, gub = math.Inf(1), math.Inf(1)
+	width := veHi - v + 1
+	prevMin := make([]float64, width)
+	curMin := make([]float64, width)
+	prevMax := make([]float64, width)
+	curMax := make([]float64, width)
+
+	// endIdx is the last point index of group x (last group may be short).
+	endA := func(x int) int { return min((x+1)*lv.Tau-1, nPoints-1) }
+	endB := func(x int) int { return min((x+1)*lv.Tau-1, mPoints-1) }
+
+	// Boundary row ue = u: running max along ve.
+	runMin, runMax := 0.0, 0.0
+	for ve := v; ve <= veHi; ve++ {
+		runMin = math.Max(runMin, lv.Dmin(u, ve))
+		runMax = math.Max(runMax, lv.Dmax(u, ve))
+		prevMin[ve-v] = runMin
+		prevMax[ve-v] = runMax
+	}
+	consider := func(ue, ve int, fmin, fmax float64) {
+		if ue-u >= gxi && ve-v >= gxi && fmin < glb {
+			glb = fmin
+		}
+		// GUB is valid only when the full-group pair is itself a feasible
+		// candidate: both legs longer than ξ steps and, for Problem 1,
+		// strictly ordered.
+		if fmax < gub &&
+			endA(ue)-u*lv.Tau > xi && endB(ve)-v*lv.Tau > xi &&
+			(!self || endA(ue) < v*lv.Tau) {
+			gub = fmax
+		}
+	}
+	for ve := v; ve <= veHi; ve++ {
+		consider(u, ve, prevMin[ve-v], prevMax[ve-v])
+	}
+
+	colMin, colMax := prevMin[0], prevMax[0]
+	for ue := u + 1; ue <= ueHi; ue++ {
+		colMin = math.Max(colMin, lv.Dmin(ue, v))
+		colMax = math.Max(colMax, lv.Dmax(ue, v))
+		curMin[0], curMax[0] = colMin, colMax
+		consider(ue, v, colMin, colMax)
+		frontier := math.Min(colMin, math.Inf(1))
+		frontierMax := math.Min(colMax, math.Inf(1))
+		for ve := v + 1; ve <= veHi; ve++ {
+			off := ve - v
+			reach := math.Min(prevMin[off-1], math.Min(prevMin[off], curMin[off-1]))
+			fmin := math.Max(lv.Dmin(ue, ve), reach)
+			curMin[off] = fmin
+
+			reachMax := math.Min(prevMax[off-1], math.Min(prevMax[off], curMax[off-1]))
+			fmax := math.Max(lv.Dmax(ue, ve), reachMax)
+			curMax[off] = fmax
+
+			consider(ue, ve, fmin, fmax)
+			frontier = math.Min(frontier, fmin)
+			frontierMax = math.Min(frontierMax, fmax)
+		}
+		// Early termination: every later cell is at least the minimum of
+		// this completed row (induction over the recurrence), so once
+		// neither bound can improve, stop.
+		if frontier >= glb && frontierMax >= gub {
+			break
+		}
+		prevMin, curMin = curMin, prevMin
+		prevMax, curMax = curMax, prevMax
+	}
+	return glb, gub
+}
+
+// pair is a candidate group pair with its pattern-bound LB.
+type pair struct {
+	lb   float64
+	u, v int32
+}
+
+// Stats extends the core search statistics with grouping-phase counters.
+type Stats struct {
+	core.Stats
+	// Levels actually executed (GTM halves τ; GTM* runs one).
+	Levels int
+	// GroupPairs evaluated across all levels; GroupPairsPruned were
+	// eliminated by pattern bounds or GLB_DFD before reaching the next
+	// level.
+	GroupPairs       int64
+	GroupPairsPruned int64
+	// BsfTightenings counts successful GUB_DFD updates of bsf.
+	BsfTightenings int64
+	// PointCells that survived to the final point-level phase.
+	PointCells int64
+}
+
+// Result bundles the motif with grouping statistics.
+type Result struct {
+	core.Result
+	Group Stats
+}
+
+// GTM is Algorithm 3 on a single trajectory: multi-level group pruning
+// with initial group size tau, then the BTM engine on the survivors.
+func GTM(t *traj.Trajectory, xi, tau int, opt *core.Options) (*Result, error) {
+	return gtm(t.Points, t.Points, xi, tau, true, opt, false)
+}
+
+// GTMCross is Algorithm 3 for the two-trajectory variant.
+func GTMCross(t, u *traj.Trajectory, xi, tau int, opt *core.Options) (*Result, error) {
+	return gtm(t.Points, u.Points, xi, tau, false, opt, false)
+}
+
+// GTMStar is the space-efficient variant (§5.5): ground distances on the
+// fly, O(n)-space DFD rows, and a single grouping pass for the given τ.
+func GTMStar(t *traj.Trajectory, xi, tau int, opt *core.Options) (*Result, error) {
+	return gtm(t.Points, t.Points, xi, tau, true, opt, true)
+}
+
+// GTMStarCross is GTM* for the two-trajectory variant.
+func GTMStarCross(t, u *traj.Trajectory, xi, tau int, opt *core.Options) (*Result, error) {
+	return gtm(t.Points, u.Points, xi, tau, false, opt, true)
+}
+
+func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool) (*Result, error) {
+	if xi < 0 {
+		return nil, fmt.Errorf("group: negative minimum motif length %d", xi)
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("group: group size %d must be at least 1", tau)
+	}
+	if opt == nil {
+		opt = &core.Options{}
+	}
+	df := geo.Haversine
+	if opt.Dist != nil {
+		df = opt.Dist
+	}
+	// GTM halves τ level by level; normalize to a power of two so halving
+	// lands exactly on 1.
+	for tau&(tau-1) != 0 {
+		tau &= tau - 1
+	}
+
+	start := time.Now()
+	var grid dmatrix.Grid
+	var gridBytes int64
+	if star {
+		grid = &dmatrix.Fly{A: a, B: b, DF: df}
+	} else {
+		var m *dmatrix.Matrix
+		if self {
+			m = dmatrix.ComputeSelf(a, df)
+		} else {
+			m = dmatrix.ComputeCross(a, b, df)
+		}
+		grid = m
+		gridBytes = m.Bytes()
+	}
+
+	rbPoint := bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
+	s := core.NewSearcher(grid, xi, self, rbPoint, !opt.DisableEndCross)
+	s.SetEpsilon(opt.Epsilon)
+	if !s.Feasible() {
+		return nil, core.ErrTooShort
+	}
+	n, m := grid.Dims()
+	gst := Stats{}
+	st := s.Stats()
+	st.N, st.M, st.Xi = n, m, xi
+	st.PeakBytes = gridBytes + rbPoint.Bytes()
+
+	// survivors tracks surviving group pairs at the current τ; nil means
+	// "level not yet run" (enumerate everything feasible).
+	var survivors []pair
+	firstLevel := true
+
+	for level := tau; level >= 2; level /= 2 {
+		lv := BuildLevel(grid, level)
+		grb := bounds.NewRelaxed(minGrid{lv}, bounds.GroupParams(xi, level, self))
+		st.PeakBytes += lv.Bytes() + grb.Bytes()
+		gst.Levels++
+
+		var cand []pair
+		if firstLevel {
+			cand = enumerateFeasible(lv, s)
+			firstLevel = false
+		} else {
+			cand = childPairs(survivors, lv, s)
+		}
+		for k := range cand {
+			u, v := int(cand[k].u), int(cand[k].v)
+			cand[k].lb = grb.SubsetLB(lv.Dmin(u, v), u, v)
+		}
+		sort.Slice(cand, func(x, y int) bool { return cand[x].lb < cand[y].lb })
+
+		gst.GroupPairs += int64(len(cand))
+		next := survivors[:0]
+		for k, pr := range cand {
+			if s.Prunable(pr.lb) {
+				gst.GroupPairsPruned += int64(len(cand) - k)
+				break
+			}
+			glb, gub := lv.DFDBounds(int(pr.u), int(pr.v), xi, self, n, m)
+			if !math.IsInf(gub, 1) && gub < s.Bsf() {
+				s.TightenBsf(gub)
+				gst.BsfTightenings++
+			}
+			if s.Prunable(glb) {
+				gst.GroupPairsPruned++
+				continue
+			}
+			next = append(next, pair{u: pr.u, v: pr.v})
+		}
+		survivors = next
+
+		if star {
+			break // GTM* executes the grouping loop once (§5.5, Idea iii)
+		}
+	}
+
+	// Expand surviving group pairs to point-level candidate subsets. When
+	// grouping never ran (tau == 1), fall back to every feasible cell.
+	type cell = pair
+	var cells []cell
+	lastTau := 2
+	if star {
+		lastTau = tau
+	}
+	if firstLevel {
+		// No grouping level executed (tau == 1): enumerate all subsets.
+		for i := 0; i <= s.IMax(); i++ {
+			lo, hi := s.JRange(i)
+			for j := lo; j <= hi; j++ {
+				cells = append(cells, cell{lb: rbPoint.SubsetLB(grid.At(i, j), i, j), u: int32(i), v: int32(j)})
+			}
+		}
+	} else {
+		// Distinct surviving pairs cover disjoint (i, j) regions, so no
+		// dedup is needed when expanding to point cells.
+		for _, pr := range survivors {
+			iLo, iHi := int(pr.u)*lastTau, min((int(pr.u)+1)*lastTau-1, n-1)
+			for i := iLo; i <= iHi && i <= s.IMax(); i++ {
+				jLo, jHi := s.JRange(i)
+				jLo = max(jLo, int(pr.v)*lastTau)
+				jHi = min(jHi, (int(pr.v)+1)*lastTau-1)
+				for j := jLo; j <= jHi; j++ {
+					cells = append(cells, cell{lb: rbPoint.SubsetLB(grid.At(i, j), i, j), u: int32(i), v: int32(j)})
+				}
+			}
+		}
+	}
+	sort.Slice(cells, func(x, y int) bool { return cells[x].lb < cells[y].lb })
+	gst.PointCells = int64(len(cells))
+	st.Subsets = int64(len(cells))
+	st.PeakBytes += int64(len(cells)) * 16
+	st.Precompute = time.Since(start)
+
+	searchStart := time.Now()
+	for _, c := range cells {
+		if s.Prunable(c.lb) {
+			break
+		}
+		s.ProcessSubset(int(c.u), int(c.v))
+	}
+	st.Search = time.Since(searchStart)
+
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	gst.Stats = res.Stats
+	return &Result{Result: *res, Group: gst}, nil
+}
+
+// enumerateFeasible lists every group pair that can contain a feasible
+// candidate start cell.
+func enumerateFeasible(lv *Level, s *core.Searcher) []pair {
+	var out []pair
+	for u := 0; u < lv.NA; u++ {
+		iLo := u * lv.Tau
+		if iLo > s.IMax() {
+			break
+		}
+		jLo, jHi := s.JRange(iLo)
+		vLo, vHi := jLo/lv.Tau, min(jHi/lv.Tau, lv.NB-1)
+		for v := vLo; v <= vHi; v++ {
+			out = append(out, pair{u: int32(u), v: int32(v)})
+		}
+	}
+	return out
+}
+
+// childPairs splits each surviving pair at size 2τ into its up-to-four
+// children at size τ, keeping those that still contain feasible starts.
+func childPairs(parents []pair, lv *Level, s *core.Searcher) []pair {
+	var out []pair
+	seen := map[int64]bool{}
+	for _, p := range parents {
+		for du := 0; du < 2; du++ {
+			for dv := 0; dv < 2; dv++ {
+				u, v := 2*int(p.u)+du, 2*int(p.v)+dv
+				if u >= lv.NA || v >= lv.NB {
+					continue
+				}
+				iLo := u * lv.Tau
+				if iLo > s.IMax() {
+					continue
+				}
+				jLo, jHi := s.JRange(iLo)
+				if (v+1)*lv.Tau-1 < jLo || v*lv.Tau > jHi {
+					continue
+				}
+				key := int64(u)*int64(lv.NB) + int64(v)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, pair{u: int32(u), v: int32(v)})
+			}
+		}
+	}
+	return out
+}

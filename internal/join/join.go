@@ -1,0 +1,221 @@
+// Package join implements a discrete-Fréchet similarity join over sets of
+// trajectories — one of the paper's stated future-work targets (§7:
+// "apply similar optimizations in order to accelerate other trajectory
+// analysis operations that rely on DFD, such as similarity join").
+//
+// Given trajectories T1..Tm and a radius eps, the join reports every pair
+// (i, j) with DFD(Ti, Tj) <= eps. The same bounding philosophy as motif
+// discovery applies, adapted to whole-trajectory pairs:
+//
+//  1. endpoint bound — every coupling matches first points to first
+//     points and last to last, so DFD >= max(dG(a0,b0), dG(an,bm));
+//  2. bounding-box bound — every point of A is matched to some point of
+//     B, so DFD >= the minimal distance from any A point to B's bounding
+//     box; probing a few A points costs O(1);
+//  3. decision procedure — DFDWithin answers "DFD <= eps?" by a pruned
+//     dynamic program that abandons as soon as a full row dies, usually
+//     long before the O(l^2) table is complete.
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// Pair is one join result.
+type Pair struct {
+	I, J int // indexes into the input slice, I < J
+	// Distance is the exact DFD when Exact was requested, otherwise an
+	// upper bound of eps (the decision procedure stops at yes/no).
+	Distance float64
+}
+
+// Options tunes the join.
+type Options struct {
+	// Dist is the ground distance; nil selects haversine.
+	Dist geo.DistanceFunc
+	// Exact computes the exact DFD for reported pairs (one extra O(l^2)
+	// pass per reported pair); otherwise Distance is set to eps.
+	Exact bool
+}
+
+func (o *Options) dist() geo.DistanceFunc {
+	if o == nil || o.Dist == nil {
+		return geo.Haversine
+	}
+	return o.Dist
+}
+
+// Stats counts the filter cascade's effectiveness.
+type Stats struct {
+	Pairs            int64 // candidate pairs considered
+	EndpointPruned   int64
+	BoxPruned        int64
+	DecisionRejected int64
+	Reported         int64
+}
+
+// Join reports all pairs of trajectories within DFD eps of each other.
+func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, error) {
+	if eps < 0 {
+		return nil, Stats{}, fmt.Errorf("join: negative radius %g", eps)
+	}
+	df := opt.dist()
+	exact := opt != nil && opt.Exact
+
+	boxes := make([]box, len(ts))
+	for k, t := range ts {
+		if t == nil || t.Len() == 0 {
+			return nil, Stats{}, fmt.Errorf("join: nil or empty trajectory at index %d", k)
+		}
+		boxes[k] = boundingBox(t.Points)
+	}
+
+	var out []Pair
+	var st Stats
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			st.Pairs++
+			a, b := ts[i].Points, ts[j].Points
+
+			// Filter 1: endpoint bound.
+			if df(a[0], b[0]) > eps || df(a[len(a)-1], b[len(b)-1]) > eps {
+				st.EndpointPruned++
+				continue
+			}
+			// Filter 2: box probes in both directions.
+			if probeBound(a, boxes[j], df) > eps || probeBound(b, boxes[i], df) > eps {
+				st.BoxPruned++
+				continue
+			}
+			// Filter 3: decision DP.
+			if !DFDWithin(a, b, df, eps) {
+				st.DecisionRejected++
+				continue
+			}
+			p := Pair{I: i, J: j, Distance: eps}
+			if exact {
+				p.Distance = exactDFD(a, b, df)
+			}
+			out = append(out, p)
+			st.Reported++
+		}
+	}
+	return out, st, nil
+}
+
+// DFDWithin decides whether DFD(a, b) <= eps without computing the full
+// distance. Cells whose value would exceed eps are dead; the DP abandons
+// as soon as a row has no live cell. O(l^2) worst case, O(min l) space.
+func DFDWithin(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	// live[j] reports whether the coupling can reach (i, j) within eps.
+	prev := make([]bool, m)
+	cur := make([]bool, m)
+
+	prev[0] = df(a[0], b[0]) <= eps
+	if !prev[0] {
+		return false // endpoint rule
+	}
+	for j := 1; j < m; j++ {
+		prev[j] = prev[j-1] && df(a[0], b[j]) <= eps
+	}
+	for i := 1; i < len(a); i++ {
+		alive := false
+		cur[0] = prev[0] && df(a[i], b[0]) <= eps
+		alive = cur[0]
+		for j := 1; j < m; j++ {
+			if (prev[j] || prev[j-1] || cur[j-1]) && df(a[i], b[j]) <= eps {
+				cur[j] = true
+				alive = true
+			} else {
+				cur[j] = false
+			}
+		}
+		if !alive {
+			return false // early abandon: no coupling can continue
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+type box struct {
+	minLat, maxLat, minLng, maxLng float64
+}
+
+func boundingBox(pts []geo.Point) box {
+	b := box{minLat: math.Inf(1), maxLat: math.Inf(-1), minLng: math.Inf(1), maxLng: math.Inf(-1)}
+	for _, p := range pts {
+		b.minLat = math.Min(b.minLat, p.Lat)
+		b.maxLat = math.Max(b.maxLat, p.Lat)
+		b.minLng = math.Min(b.minLng, p.Lng)
+		b.maxLng = math.Max(b.maxLng, p.Lng)
+	}
+	return b
+}
+
+// clampToBox returns the point of the box closest to p (in coordinate
+// space), whose ground distance to p lower-bounds p's distance to every
+// point inside the box.
+func clampToBox(p geo.Point, b box) geo.Point {
+	q := p
+	if q.Lat < b.minLat {
+		q.Lat = b.minLat
+	} else if q.Lat > b.maxLat {
+		q.Lat = b.maxLat
+	}
+	if q.Lng < b.minLng {
+		q.Lng = b.minLng
+	} else if q.Lng > b.maxLng {
+		q.Lng = b.maxLng
+	}
+	return q
+}
+
+// probeBound lower-bounds DFD(a, ·) for any trajectory inside bb: every
+// coupling matches each probed point of a to some point in bb, so the
+// max probe-to-box distance is a lower bound. Probes first, middle, last.
+func probeBound(a []geo.Point, bb box, df geo.DistanceFunc) float64 {
+	lb := 0.0
+	for _, idx := range [...]int{0, len(a) / 2, len(a) - 1} {
+		p := a[idx]
+		if d := df(p, clampToBox(p, bb)); d > lb {
+			lb = d
+		}
+	}
+	return lb
+}
+
+// exactDFD is the plain rolling-rows DFD; duplicated minimally here to
+// keep internal/join dependency-light.
+func exactDFD(a, b []geo.Point, df geo.DistanceFunc) float64 {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	prev[0] = df(a[0], b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = math.Max(prev[j-1], df(a[0], b[j]))
+	}
+	for i := 1; i < len(a); i++ {
+		cur[0] = math.Max(prev[0], df(a[i], b[0]))
+		for j := 1; j < m; j++ {
+			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = math.Max(reach, df(a[i], b[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}

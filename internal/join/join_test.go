@@ -1,0 +1,165 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+func randWalk(r *rand.Rand, n int, cx, cy float64) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := cx, cy
+	for i := range pts {
+		x += r.Float64()*2 - 1
+		y += r.Float64()*2 - 1
+		pts[i] = geo.Point{Lng: x, Lat: y}
+	}
+	return traj.FromPoints(pts)
+}
+
+// TestDFDWithinMatchesExact cross-checks the decision procedure against
+// exact DFD over random pairs and radii, including boundary radii.
+func TestDFDWithinMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		a := randWalk(r, 3+r.Intn(15), 0, 0)
+		b := randWalk(r, 3+r.Intn(15), r.Float64()*4, r.Float64()*4)
+		d := dist.DFD(a.Points, b.Points, geo.Euclidean)
+		for _, eps := range []float64{d * 0.5, d - 1e-9, d, d + 1e-9, d * 1.5} {
+			want := d <= eps
+			if got := DFDWithin(a.Points, b.Points, geo.Euclidean, eps); got != want {
+				t.Fatalf("DFDWithin(eps=%g) = %v, exact DFD %g", eps, got, d)
+			}
+		}
+	}
+	if DFDWithin(nil, nil, geo.Euclidean, 1) {
+		t.Error("empty sequences should be rejected")
+	}
+}
+
+func TestJoinFindsExactlyTheClosePairs(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	// Three clusters of noisy copies plus two loners.
+	var ts []*traj.Trajectory
+	base := randWalk(r, 25, 0, 0)
+	for k := 0; k < 3; k++ {
+		pts := make([]geo.Point, base.Len())
+		for i, p := range base.Points {
+			pts[i] = geo.Point{Lng: p.Lng + r.Float64()*0.1, Lat: p.Lat + r.Float64()*0.1}
+		}
+		ts = append(ts, traj.FromPoints(pts))
+	}
+	ts = append(ts, randWalk(r, 25, 120, 70), randWalk(r, 25, -120, 50))
+
+	eps := 1.0
+	pairs, st, err := Join(ts, eps, &Options{Dist: geo.Euclidean, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth by brute force.
+	truth := map[[2]int]float64{}
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			if d := dist.DFD(ts[i].Points, ts[j].Points, geo.Euclidean); d <= eps {
+				truth[[2]int{i, j}] = d
+			}
+		}
+	}
+	if len(pairs) != len(truth) {
+		t.Fatalf("join found %d pairs, truth %d", len(pairs), len(truth))
+	}
+	for _, p := range pairs {
+		want, ok := truth[[2]int{p.I, p.J}]
+		if !ok {
+			t.Fatalf("spurious pair (%d,%d)", p.I, p.J)
+		}
+		if math.Abs(p.Distance-want) > 1e-9 {
+			t.Errorf("pair (%d,%d) distance %g, want %g", p.I, p.J, p.Distance, want)
+		}
+	}
+	if st.Reported != int64(len(pairs)) || st.Pairs != 10 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	// The far-away loners must have been rejected by cheap filters, not
+	// the DP.
+	if st.EndpointPruned+st.BoxPruned == 0 {
+		t.Error("cheap filters never fired")
+	}
+}
+
+func TestJoinFilterSoundness(t *testing.T) {
+	// Random instances: the filter cascade must never lose a true pair.
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		var ts []*traj.Trajectory
+		for k := 0; k < 6; k++ {
+			ts = append(ts, randWalk(r, 8+r.Intn(10), r.Float64()*20, r.Float64()*20))
+		}
+		eps := 5 + r.Float64()*10
+		pairs, _, err := Join(ts, eps, &Options{Dist: geo.Euclidean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := map[[2]int]bool{}
+		for _, p := range pairs {
+			found[[2]int{p.I, p.J}] = true
+		}
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				want := dist.DFD(ts[i].Points, ts[j].Points, geo.Euclidean) <= eps
+				if want != found[[2]int{i, j}] {
+					t.Fatalf("pair (%d,%d): join=%v exact=%v (eps=%g)", i, j, found[[2]int{i, j}], want, eps)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	if _, _, err := Join(nil, -1, nil); err == nil {
+		t.Error("negative eps should error")
+	}
+	if _, _, err := Join([]*traj.Trajectory{nil}, 1, nil); err == nil {
+		t.Error("nil trajectory should error")
+	}
+}
+
+func TestJoinOnSyntheticFleet(t *testing.T) {
+	// Trucks sharing a depot should join at a generous radius; different
+	// datasets should not.
+	a, b, err := datagen.Pair(datagen.TruckName, datagen.Config{Seed: 9, N: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baboon := datagen.Baboon(datagen.Config{Seed: 9, N: 120})
+	pairs, _, err := Join([]*traj.Trajectory{a, b, baboon}, 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.J == 2 || p.I == 2 {
+			t.Errorf("baboon (Kenya) joined a truck (Athens): %+v", p)
+		}
+	}
+}
+
+func BenchmarkDFDWithinVsExact(b *testing.B) {
+	r := rand.New(rand.NewSource(64))
+	x := randWalk(r, 300, 0, 0)
+	y := randWalk(r, 300, 50, 0) // far apart: early abandon should win
+	b.Run("decision", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DFDWithin(x.Points, y.Points, geo.Euclidean, 10)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.DFD(x.Points, y.Points, geo.Euclidean)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package knn implements index-free k-nearest-trajectory search under the
+// discrete Fréchet distance — the "most similar trajectory search" operation
+// of the paper's reference [9] (Frentzos et al., ICDE'07), rebuilt on the
+// same lower-bound philosophy as the motif engine:
+//
+//  1. every candidate gets a cheap lower bound (endpoint distances and
+//     bounding-box probes, both O(1) after one pass over the points);
+//  2. candidates are visited in ascending lower-bound order;
+//  3. the exact DFD dynamic program runs with an early-abandon cap equal
+//     to the current k-th best distance, so hopeless candidates die after
+//     a few rows;
+//  4. the search stops as soon as the next lower bound exceeds the k-th
+//     best — the remaining candidates cannot improve the result.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// Neighbor is one search result.
+type Neighbor struct {
+	// Index into the dataset slice.
+	Index int
+	// Distance is the exact DFD to the query.
+	Distance float64
+}
+
+// Stats describes the pruning achieved by a search.
+type Stats struct {
+	Candidates     int64 // dataset size
+	SkippedByLB    int64 // never reached the DP
+	AbandonedEarly int64 // DP started but died against the cap
+	Exact          int64 // full DFD computations that completed
+}
+
+// Options tunes the search; zero value uses haversine.
+type Options struct {
+	Dist geo.DistanceFunc
+}
+
+func (o *Options) dist() geo.DistanceFunc {
+	if o == nil || o.Dist == nil {
+		return geo.Haversine
+	}
+	return o.Dist
+}
+
+// Nearest returns the k trajectories of dataset most similar to query
+// under DFD, ascending by distance (ties broken by index). Fewer than k
+// are returned when the dataset is smaller.
+func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Options) ([]Neighbor, Stats, error) {
+	if k < 1 {
+		return nil, Stats{}, fmt.Errorf("knn: k must be at least 1, got %d", k)
+	}
+	if query == nil || query.Len() == 0 {
+		return nil, Stats{}, fmt.Errorf("knn: empty query")
+	}
+	df := opt.dist()
+	st := Stats{Candidates: int64(len(dataset))}
+
+	// Cheap lower bounds per candidate.
+	type cand struct {
+		idx int
+		lb  float64
+	}
+	q := query.Points
+	qBox := boundingBox(q)
+	cands := make([]cand, 0, len(dataset))
+	for i, t := range dataset {
+		if t == nil || t.Len() == 0 {
+			return nil, Stats{}, fmt.Errorf("knn: nil or empty trajectory at index %d", i)
+		}
+		p := t.Points
+		lb := math.Max(df(q[0], p[0]), df(q[len(q)-1], p[len(p)-1]))
+		lb = math.Max(lb, probeBound(q, boundingBox(p), df))
+		lb = math.Max(lb, probeBound(p, qBox, df))
+		cands = append(cands, cand{idx: i, lb: lb})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+
+	// Max-heap of the best k distances found so far.
+	h := &nbrHeap{}
+	heap.Init(h)
+	kth := math.Inf(1)
+	for ci, c := range cands {
+		if h.Len() == k && c.lb >= kth {
+			st.SkippedByLB = int64(len(cands) - ci)
+			break
+		}
+		capd := kth
+		if h.Len() < k {
+			capd = math.Inf(1)
+		}
+		d, completed := dfdCapped(q, dataset[c.idx].Points, df, capd)
+		if !completed {
+			st.AbandonedEarly++
+			continue
+		}
+		st.Exact++
+		if h.Len() < k {
+			heap.Push(h, Neighbor{Index: c.idx, Distance: d})
+		} else if d < kth {
+			(*h)[0] = Neighbor{Index: c.idx, Distance: d}
+			heap.Fix(h, 0)
+		}
+		if h.Len() == k {
+			kth = (*h)[0].Distance
+		}
+	}
+
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out, st, nil
+}
+
+// dfdCapped computes DFD(a, b) but abandons once no coupling can finish
+// below cap, returning completed=false. When it completes, the returned
+// distance is exact (and may exceed cap only if the final cell does).
+func dfdCapped(a, b []geo.Point, df geo.DistanceFunc, cap float64) (float64, bool) {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	prev[0] = df(a[0], b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = math.Max(prev[j-1], df(a[0], b[j]))
+	}
+	for i := 1; i < len(a); i++ {
+		cur[0] = math.Max(prev[0], df(a[i], b[0]))
+		rowMin := cur[0]
+		for j := 1; j < m; j++ {
+			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = math.Max(reach, df(a[i], b[j]))
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		// Every continuation goes through this row; if its minimum already
+		// exceeds the cap, the final value must too.
+		if rowMin >= cap {
+			return math.Inf(1), false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1], true
+}
+
+type nbrHeap []Neighbor
+
+func (h nbrHeap) Len() int           { return len(h) }
+func (h nbrHeap) Less(i, j int) bool { return h[i].Distance > h[j].Distance } // max-heap
+func (h nbrHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nbrHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *nbrHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type box struct {
+	minLat, maxLat, minLng, maxLng float64
+}
+
+func boundingBox(pts []geo.Point) box {
+	b := box{minLat: math.Inf(1), maxLat: math.Inf(-1), minLng: math.Inf(1), maxLng: math.Inf(-1)}
+	for _, p := range pts {
+		b.minLat = math.Min(b.minLat, p.Lat)
+		b.maxLat = math.Max(b.maxLat, p.Lat)
+		b.minLng = math.Min(b.minLng, p.Lng)
+		b.maxLng = math.Max(b.maxLng, p.Lng)
+	}
+	return b
+}
+
+func clampToBox(p geo.Point, b box) geo.Point {
+	q := p
+	if q.Lat < b.minLat {
+		q.Lat = b.minLat
+	} else if q.Lat > b.maxLat {
+		q.Lat = b.maxLat
+	}
+	if q.Lng < b.minLng {
+		q.Lng = b.minLng
+	} else if q.Lng > b.maxLng {
+		q.Lng = b.maxLng
+	}
+	return q
+}
+
+func probeBound(a []geo.Point, bb box, df geo.DistanceFunc) float64 {
+	lb := 0.0
+	for _, idx := range [...]int{0, len(a) / 2, len(a) - 1} {
+		p := a[idx]
+		if d := df(p, clampToBox(p, bb)); d > lb {
+			lb = d
+		}
+	}
+	return lb
+}

@@ -1,0 +1,179 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+func randWalk(r *rand.Rand, n int, cx, cy float64) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := cx, cy
+	for i := range pts {
+		x += r.Float64()*2 - 1
+		y += r.Float64()*2 - 1
+		pts[i] = geo.Point{Lng: x, Lat: y}
+	}
+	return traj.FromPoints(pts)
+}
+
+// TestNearestMatchesBruteForce is the correctness anchor: the pruned
+// search returns exactly the brute-force k nearest for random datasets.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 25; trial++ {
+		query := randWalk(r, 10+r.Intn(15), 0, 0)
+		var ds []*traj.Trajectory
+		for i := 0; i < 12; i++ {
+			ds = append(ds, randWalk(r, 8+r.Intn(15), r.Float64()*30-15, r.Float64()*30-15))
+		}
+		k := 1 + r.Intn(5)
+		got, st, err := Nearest(query, ds, k, &Options{Dist: geo.Euclidean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		type nd struct {
+			idx int
+			d   float64
+		}
+		var all []nd
+		for i, tr := range ds {
+			all = append(all, nd{i, dist.DFD(query.Points, tr.Points, geo.Euclidean)})
+		}
+		for x := 0; x < len(all); x++ {
+			for y := x + 1; y < len(all); y++ {
+				if all[y].d < all[x].d || (all[y].d == all[x].d && all[y].idx < all[x].idx) {
+					all[x], all[y] = all[y], all[x]
+				}
+			}
+		}
+		if len(got) != k {
+			t.Fatalf("returned %d, want %d", len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Distance-all[i].d) > 1e-9 {
+				t.Fatalf("trial %d rank %d: got (%d, %g), want (%d, %g)",
+					trial, i, got[i].Index, got[i].Distance, all[i].idx, all[i].d)
+			}
+		}
+		if st.Exact+st.AbandonedEarly+st.SkippedByLB > st.Candidates {
+			t.Errorf("stats overcount: %+v", st)
+		}
+	}
+}
+
+func TestNearestPruning(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	query := randWalk(r, 40, 0, 0)
+	var ds []*traj.Trajectory
+	// Three near twins, many far decoys.
+	for i := 0; i < 3; i++ {
+		pts := make([]geo.Point, query.Len())
+		for k, p := range query.Points {
+			pts[k] = geo.Point{Lng: p.Lng + r.Float64()*0.2, Lat: p.Lat + r.Float64()*0.2}
+		}
+		ds = append(ds, traj.FromPoints(pts))
+	}
+	for i := 0; i < 30; i++ {
+		ds = append(ds, randWalk(r, 40, 100+r.Float64()*50, 60+r.Float64()*20))
+	}
+	got, st, err := Nearest(query, ds, 3, &Options{Dist: geo.Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range got {
+		if nb.Index >= 3 {
+			t.Errorf("decoy %d ranked in top-3", nb.Index)
+		}
+	}
+	if st.SkippedByLB == 0 {
+		t.Error("lower bounds never pruned a far decoy")
+	}
+	if st.Exact >= st.Candidates {
+		t.Error("every candidate went through a full DFD")
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	q := randWalk(r, 10, 0, 0)
+	ds := []*traj.Trajectory{randWalk(r, 10, 1, 1), randWalk(r, 10, 2, 2)}
+
+	if _, _, err := Nearest(q, ds, 0, nil); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := Nearest(nil, ds, 1, nil); err == nil {
+		t.Error("nil query should error")
+	}
+	if _, _, err := Nearest(q, []*traj.Trajectory{nil}, 1, nil); err == nil {
+		t.Error("nil candidate should error")
+	}
+	// k larger than dataset returns everything.
+	got, _, err := Nearest(q, ds, 10, &Options{Dist: geo.Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("k>len returned %d", len(got))
+	}
+	// Empty dataset returns empty result.
+	got, _, err = Nearest(q, nil, 3, &Options{Dist: geo.Euclidean})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty dataset: %v, %d results", err, len(got))
+	}
+}
+
+func TestDFDCapped(t *testing.T) {
+	r := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 100; trial++ {
+		a := randWalk(r, 5+r.Intn(10), 0, 0)
+		b := randWalk(r, 5+r.Intn(10), r.Float64()*5, r.Float64()*5)
+		exact := dist.DFD(a.Points, b.Points, geo.Euclidean)
+
+		// Uncapped must match exactly.
+		d, ok := dfdCapped(a.Points, b.Points, geo.Euclidean, math.Inf(1))
+		if !ok || math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("uncapped: %g (ok=%v), want %g", d, ok, exact)
+		}
+		// Generous cap must also complete with the exact value.
+		d, ok = dfdCapped(a.Points, b.Points, geo.Euclidean, exact*2+1)
+		if !ok || math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("generous cap: %g (ok=%v), want %g", d, ok, exact)
+		}
+		// A cap below the true distance may abandon, but must never
+		// report a wrong completed value.
+		if d, ok := dfdCapped(a.Points, b.Points, geo.Euclidean, exact/2); ok {
+			if math.Abs(d-exact) > 1e-9 {
+				t.Fatalf("tight cap completed with wrong value %g, want %g", d, exact)
+			}
+		}
+	}
+}
+
+func TestNearestOnFleet(t *testing.T) {
+	// Ten trucks from the same depot; the query's nearest neighbours must
+	// be trucks, never the baboon decoy.
+	var ds []*traj.Trajectory
+	for seed := int64(1); seed <= 10; seed++ {
+		tr := datagen.Truck(datagen.Config{Seed: seed, N: 150})
+		ds = append(ds, tr)
+	}
+	ds = append(ds, datagen.Baboon(datagen.Config{Seed: 1, N: 150}))
+	query := datagen.Truck(datagen.Config{Seed: 99, N: 150})
+
+	got, _, err := Nearest(query, ds, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range got {
+		if nb.Index == 10 {
+			t.Error("the Kenyan baboon is not a plausible Athens truck")
+		}
+	}
+}

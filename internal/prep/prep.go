@@ -1,0 +1,237 @@
+// Package prep provides the GPS preprocessing steps that precede motif
+// discovery on real trajectory data: spike (outlier) removal by speed
+// gating, trajectory simplification by Douglas-Peucker, stay-point
+// detection, and splitting on recording gaps.
+//
+// The paper evaluates on raw GPS datasets (GeoLife, Truck, Wild-Baboon)
+// whose loggers produce exactly the artifacts these filters target; a
+// production deployment of the motif engine runs them first. All
+// functions are non-destructive: they return new trajectories and never
+// mutate their input.
+package prep
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// RemoveSpeedSpikes drops samples that would require travelling faster
+// than maxSpeed (meters/second) from the previous kept sample — the
+// standard filter for GPS multipath spikes. Untimed trajectories are
+// returned unchanged (speed is undefined without timestamps).
+func RemoveSpeedSpikes(t *traj.Trajectory, maxSpeed float64, df geo.DistanceFunc) *traj.Trajectory {
+	if t.Times == nil || t.Len() < 2 || maxSpeed <= 0 {
+		return t
+	}
+	if df == nil {
+		df = geo.Haversine
+	}
+	points := []geo.Point{t.Points[0]}
+	times := []time.Time{t.Times[0]}
+	for k := 1; k < t.Len(); k++ {
+		last := points[len(points)-1]
+		dt := t.Times[k].Sub(times[len(times)-1]).Seconds()
+		if dt <= 0 {
+			// Identical timestamps: keep only if spatially identical too.
+			if df(last, t.Points[k]) == 0 {
+				continue
+			}
+			// Otherwise treat as a spike.
+			continue
+		}
+		if df(last, t.Points[k])/dt > maxSpeed {
+			continue
+		}
+		points = append(points, t.Points[k])
+		times = append(times, t.Times[k])
+	}
+	out, err := traj.New(points, times)
+	if err != nil {
+		// Kept samples are a subsequence of a valid trajectory; this is
+		// unreachable, but fail loudly rather than return a broken value.
+		panic(fmt.Sprintf("prep: spike filter produced invalid trajectory: %v", err))
+	}
+	return out
+}
+
+// Simplify reduces the trajectory with the Douglas-Peucker algorithm:
+// points farther than tolerance (meters) from the simplified chord are
+// kept. Timestamps follow their points. The first and last points always
+// survive.
+//
+// Guarantee: every removed point lies within tolerance of the segment
+// joining its surviving neighbors, so the continuous shape drifts by at
+// most the tolerance. Note this does NOT bound the *discrete* Fréchet
+// distance between original and simplified point sequences — removed
+// points must couple to the sparse surviving samples, which may be far
+// away along-track — so simplify both trajectories (or both legs) with
+// the same tolerance before comparing them, and treat the result as an
+// approximation whose fidelity is the chosen tolerance.
+func Simplify(t *traj.Trajectory, tolerance float64, df geo.DistanceFunc) *traj.Trajectory {
+	if t.Len() <= 2 || tolerance <= 0 {
+		return t
+	}
+	if df == nil {
+		df = geo.Haversine
+	}
+	keep := make([]bool, t.Len())
+	keep[0], keep[t.Len()-1] = true, true
+	douglasPeucker(t.Points, 0, t.Len()-1, tolerance, df, keep)
+
+	points := make([]geo.Point, 0, t.Len())
+	var times []time.Time
+	if t.Times != nil {
+		times = make([]time.Time, 0, t.Len())
+	}
+	for k, kept := range keep {
+		if !kept {
+			continue
+		}
+		points = append(points, t.Points[k])
+		if times != nil {
+			times = append(times, t.Times[k])
+		}
+	}
+	out, err := traj.New(points, times)
+	if err != nil {
+		panic(fmt.Sprintf("prep: simplify produced invalid trajectory: %v", err))
+	}
+	return out
+}
+
+func douglasPeucker(pts []geo.Point, lo, hi int, tol float64, df geo.DistanceFunc, keep []bool) {
+	if hi <= lo+1 {
+		return
+	}
+	maxDist, maxIdx := 0.0, -1
+	for k := lo + 1; k < hi; k++ {
+		if d := pointSegmentDistance(pts[k], pts[lo], pts[hi], df); d > maxDist {
+			maxDist, maxIdx = d, k
+		}
+	}
+	if maxDist > tol {
+		keep[maxIdx] = true
+		douglasPeucker(pts, lo, maxIdx, tol, df, keep)
+		douglasPeucker(pts, maxIdx, hi, tol, df, keep)
+	}
+}
+
+// pointSegmentDistance approximates the distance from p to segment ab by
+// projecting in a local tangent plane — accurate to well under 1% for the
+// sub-kilometer segments of sampled trajectories.
+func pointSegmentDistance(p, a, b geo.Point, df geo.DistanceFunc) float64 {
+	// Project into meters east/north of a.
+	bx, by := localMeters(a, b)
+	px, py := localMeters(a, p)
+	segLen2 := bx*bx + by*by
+	if segLen2 == 0 {
+		return df(p, a)
+	}
+	u := (px*bx + py*by) / segLen2
+	if u < 0 {
+		return df(p, a)
+	}
+	if u > 1 {
+		return df(p, b)
+	}
+	dx, dy := px-u*bx, py-u*by
+	return math.Hypot(dx, dy)
+}
+
+func localMeters(origin, p geo.Point) (east, north float64) {
+	const degToRad = math.Pi / 180
+	north = (p.Lat - origin.Lat) * degToRad * geo.EarthRadiusMeters
+	east = (p.Lng - origin.Lng) * degToRad * geo.EarthRadiusMeters * math.Cos(origin.Lat*degToRad)
+	return east, north
+}
+
+// StayPoint is a dwell region: a maximal run of samples that stays within
+// radius meters of its anchor for at least minDuration.
+type StayPoint struct {
+	// Span covers the dwelling samples.
+	Span traj.Span
+	// Center is the mean position of the dwell.
+	Center geo.Point
+	// Duration is the dwell's wall-clock extent.
+	Duration time.Duration
+}
+
+// StayPoints detects dwell regions (Li et al.-style stay-point detection,
+// used throughout the GeoLife literature): from each anchor, extend while
+// samples remain within radius; report the run if it lasts minDuration.
+// Requires timestamps.
+func StayPoints(t *traj.Trajectory, radius float64, minDuration time.Duration, df geo.DistanceFunc) []StayPoint {
+	if t.Times == nil || t.Len() < 2 {
+		return nil
+	}
+	if df == nil {
+		df = geo.Haversine
+	}
+	var out []StayPoint
+	i := 0
+	for i < t.Len()-1 {
+		j := i + 1
+		for j < t.Len() && df(t.Points[i], t.Points[j]) <= radius {
+			j++
+		}
+		// Samples i..j-1 stay within radius of anchor i.
+		dur := t.Times[j-1].Sub(t.Times[i])
+		if j-1 > i && dur >= minDuration {
+			var lat, lng float64
+			for k := i; k < j; k++ {
+				lat += t.Points[k].Lat
+				lng += t.Points[k].Lng
+			}
+			cnt := float64(j - i)
+			out = append(out, StayPoint{
+				Span:     traj.Span{Start: i, End: j - 1},
+				Center:   geo.Point{Lat: lat / cnt, Lng: lng / cnt},
+				Duration: dur,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// SplitOnGaps cuts a timed trajectory wherever consecutive samples are
+// separated by more than maxGap, returning the resulting segments (each
+// with at least minPoints samples). Recording gaps are where GPS loggers
+// lost fix; motifs should not couple across them.
+func SplitOnGaps(t *traj.Trajectory, maxGap time.Duration, minPoints int) []*traj.Trajectory {
+	if t.Times == nil {
+		return []*traj.Trajectory{t}
+	}
+	if minPoints < 1 {
+		minPoints = 1
+	}
+	var out []*traj.Trajectory
+	start := 0
+	emit := func(lo, hi int) {
+		if hi-lo+1 < minPoints {
+			return
+		}
+		seg, err := traj.New(
+			append([]geo.Point(nil), t.Points[lo:hi+1]...),
+			append([]time.Time(nil), t.Times[lo:hi+1]...),
+		)
+		if err != nil {
+			panic(fmt.Sprintf("prep: gap split produced invalid segment: %v", err))
+		}
+		out = append(out, seg)
+	}
+	for k := 1; k < t.Len(); k++ {
+		if t.Times[k].Sub(t.Times[k-1]) > maxGap {
+			emit(start, k-1)
+			start = k
+		}
+	}
+	emit(start, t.Len()-1)
+	return out
+}

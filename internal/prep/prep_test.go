@@ -1,0 +1,259 @@
+package prep
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+func timedWalk(n int, stepMeters float64, gap time.Duration) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	times := make([]time.Time, n)
+	base := geo.Point{Lat: 39.9, Lng: 116.4}
+	t0 := time.Unix(1_000_000, 0).UTC()
+	for i := range pts {
+		pts[i] = geo.Offset(base, float64(i)*stepMeters, 0)
+		times[i] = t0.Add(time.Duration(i) * gap)
+	}
+	tr, err := traj.New(pts, times)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func TestRemoveSpeedSpikes(t *testing.T) {
+	tr := timedWalk(20, 2, time.Second) // 2 m/s walk
+	// Inject a 500 m spike at index 10.
+	tr.Points[10] = geo.Offset(tr.Points[10], 500, 500)
+	clean := RemoveSpeedSpikes(tr, 10, nil)
+	if clean.Len() != 19 {
+		t.Fatalf("expected 1 spike removed, got len %d", clean.Len())
+	}
+	for k := 1; k < clean.Len(); k++ {
+		dt := clean.Times[k].Sub(clean.Times[k-1]).Seconds()
+		v := geo.Haversine(clean.Points[k-1], clean.Points[k]) / dt
+		if v > 10 {
+			t.Errorf("residual speed %g m/s at %d", v, k)
+		}
+	}
+	// Untimed input passes through untouched.
+	untimed := traj.FromPoints(tr.Points)
+	if RemoveSpeedSpikes(untimed, 10, nil) != untimed {
+		t.Error("untimed trajectory should be returned unchanged")
+	}
+	// Duplicate-timestamp samples at the same spot collapse.
+	dup := timedWalk(5, 2, time.Second)
+	dup.Times[2] = dup.Times[1]
+	dup.Points[2] = dup.Points[1]
+	if got := RemoveSpeedSpikes(dup, 10, nil); got.Len() != 4 {
+		t.Errorf("duplicate sample not collapsed: len %d", got.Len())
+	}
+}
+
+func TestSimplifyStraightLineCollapses(t *testing.T) {
+	tr := timedWalk(50, 5, time.Second)
+	s := Simplify(tr, 1.0, nil)
+	if s.Len() != 2 {
+		t.Fatalf("straight line should simplify to endpoints, got %d", s.Len())
+	}
+	if s.Points[0] != tr.Points[0] || s.Points[1] != tr.Points[49] {
+		t.Error("endpoints not preserved")
+	}
+	if len(s.Times) != 2 {
+		t.Error("timestamps must follow points")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	// An L-shape: east 20 steps then north 20 steps.
+	base := geo.Point{Lat: 39.9, Lng: 116.4}
+	var pts []geo.Point
+	for i := 0; i <= 20; i++ {
+		pts = append(pts, geo.Offset(base, float64(i)*10, 0))
+	}
+	corner := pts[len(pts)-1]
+	for i := 1; i <= 20; i++ {
+		pts = append(pts, geo.Offset(corner, 0, float64(i)*10))
+	}
+	tr := traj.FromPoints(pts)
+	s := Simplify(tr, 2.0, nil)
+	if s.Len() != 3 {
+		t.Fatalf("L-shape should keep 3 points, got %d", s.Len())
+	}
+	if geo.Haversine(s.Points[1], corner) > 1 {
+		t.Errorf("corner not preserved: %v", s.Points[1])
+	}
+}
+
+// TestSimplifyPerpendicularGuarantee verifies the Douglas-Peucker
+// invariant: every removed point lies within tolerance of the segment
+// joining its two nearest surviving points.
+func TestSimplifyPerpendicularGuarantee(t *testing.T) {
+	for _, name := range datagen.Names() {
+		tr, _ := datagen.Dataset(name, datagen.Config{Seed: 17, N: 400})
+		tol := 10.0
+		s := Simplify(tr, tol, nil)
+		if s.Len() >= tr.Len() {
+			t.Errorf("%s: no simplification happened", name)
+			continue
+		}
+		// Recover which original indexes survived (points are unique
+		// enough per generator to match by value in order).
+		survived := make([]int, 0, s.Len())
+		next := 0
+		for k, p := range tr.Points {
+			if next < s.Len() && p == s.Points[next] {
+				survived = append(survived, k)
+				next++
+			}
+		}
+		if next != s.Len() {
+			t.Fatalf("%s: could not align simplified points", name)
+		}
+		for w := 1; w < len(survived); w++ {
+			lo, hi := survived[w-1], survived[w]
+			for k := lo + 1; k < hi; k++ {
+				d := pointSegmentDistance(tr.Points[k], tr.Points[lo], tr.Points[hi], geo.Haversine)
+				if d > tol*1.05 { // tangent-plane slack
+					t.Fatalf("%s: removed point %d is %.2f m from its chord (> %g)", name, k, d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestSimplifyBothLegsPreservesMotifApprox simplifies a trajectory and
+// checks the motif found on the simplified data stays within a few
+// tolerances of the exact motif distance — the practical use pattern the
+// Simplify doc describes.
+func TestSimplifyBothLegsPreservesMotifApprox(t *testing.T) {
+	tr := datagen.Baboon(datagen.Config{Seed: 18, N: 300})
+	exact, err := core.BTM(tr, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 3.0
+	s := Simplify(tr, tol, nil)
+	if s.Len() < 30 {
+		t.Skip("over-simplified for this seed")
+	}
+	xi := 12 * s.Len() / tr.Len()
+	if xi < 4 {
+		xi = 4
+	}
+	approx, err := core.BTM(s, xi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Distance > exact.Distance+20*tol {
+		t.Errorf("simplified motif %.2f m strays too far from exact %.2f m",
+			approx.Distance, exact.Distance)
+	}
+}
+
+func TestStayPoints(t *testing.T) {
+	// Walk, dwell 5 minutes, walk again.
+	base := geo.Point{Lat: 39.9, Lng: 116.4}
+	var pts []geo.Point
+	var times []time.Time
+	t0 := time.Unix(2_000_000, 0).UTC()
+	add := func(p geo.Point, at time.Duration) {
+		pts = append(pts, p)
+		times = append(times, t0.Add(at))
+	}
+	for i := 0; i < 10; i++ {
+		add(geo.Offset(base, float64(i)*50, 0), time.Duration(i)*30*time.Second)
+	}
+	dwell := geo.Offset(base, 500, 0)
+	for i := 0; i < 10; i++ {
+		add(geo.Offset(dwell, float64(i%3), float64(i%2)), 5*time.Minute+time.Duration(i)*30*time.Second)
+	}
+	for i := 0; i < 10; i++ {
+		add(geo.Offset(dwell, float64(i+1)*50, 0), 10*time.Minute+time.Duration(i)*30*time.Second)
+	}
+	tr, err := traj.New(pts, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sps := StayPoints(tr, 20, 2*time.Minute, nil)
+	if len(sps) != 1 {
+		t.Fatalf("expected 1 stay point, got %d: %+v", len(sps), sps)
+	}
+	sp := sps[0]
+	if sp.Span.Start != 10 || sp.Span.End != 19 {
+		t.Errorf("stay span = %v, want [10..19]", sp.Span)
+	}
+	if geo.Haversine(sp.Center, dwell) > 10 {
+		t.Errorf("stay center %v too far from dwell %v", sp.Center, dwell)
+	}
+	if sp.Duration < 4*time.Minute {
+		t.Errorf("duration = %v", sp.Duration)
+	}
+	if got := StayPoints(traj.FromPoints(pts), 20, time.Minute, nil); got != nil {
+		t.Error("untimed trajectory should yield no stay points")
+	}
+}
+
+func TestSplitOnGaps(t *testing.T) {
+	tr := timedWalk(30, 2, time.Second)
+	// Create two gaps.
+	for i := 10; i < 30; i++ {
+		tr.Times[i] = tr.Times[i].Add(10 * time.Minute)
+	}
+	for i := 20; i < 30; i++ {
+		tr.Times[i] = tr.Times[i].Add(20 * time.Minute)
+	}
+	segs := SplitOnGaps(tr, time.Minute, 2)
+	if len(segs) != 3 {
+		t.Fatalf("expected 3 segments, got %d", len(segs))
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+		if st, ok := s.Sampling(); ok && st.MaxGap > time.Minute {
+			t.Errorf("segment still contains a gap: %v", st.MaxGap)
+		}
+	}
+	if total != 30 {
+		t.Errorf("segments cover %d points, want 30", total)
+	}
+	// Min-points filter.
+	segs = SplitOnGaps(tr, time.Minute, 15)
+	if len(segs) != 0 {
+		t.Errorf("min-points filter should drop all segments, got %d", len(segs))
+	}
+	// Untimed passthrough.
+	un := traj.FromPoints(tr.Points)
+	if got := SplitOnGaps(un, time.Minute, 2); len(got) != 1 || got[0] != un {
+		t.Error("untimed trajectory should be returned whole")
+	}
+}
+
+// TestPipelineOnGeoLife runs the full preprocessing chain on the
+// synthetic GeoLife workload and checks motif discovery still works and
+// speeds up on the simplified input.
+func TestPipelineOnGeoLife(t *testing.T) {
+	tr := datagen.GeoLife(datagen.Config{Seed: 19, N: 500})
+	clean := RemoveSpeedSpikes(tr, 15, nil)
+	if clean.Len() > tr.Len() {
+		t.Fatal("filter added points?")
+	}
+	segs := SplitOnGaps(clean, 30*time.Minute, 50)
+	if len(segs) == 0 {
+		t.Fatal("splitting removed everything")
+	}
+	simp := Simplify(segs[0], 5, nil)
+	if simp.Len() >= segs[0].Len() {
+		t.Error("simplification had no effect")
+	}
+	if math.IsNaN(simp.PathLength(geo.Haversine)) {
+		t.Error("invalid simplified trajectory")
+	}
+}

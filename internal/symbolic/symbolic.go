@@ -1,0 +1,184 @@
+// Package symbolic implements the symbolic motif-discovery baseline the
+// paper's related work dismisses (§2, Figure 4): trajectories are
+// partitioned into fragments, each fragment is mapped to a movement-
+// pattern symbol (V vertical straight, H horizontal straight, L left
+// turn, R right turn), and motifs are found by substring matching on the
+// resulting strings.
+//
+// The package exists to reproduce the paper's criticism: because symbols
+// discard absolute location, two trajectories in different cities can map
+// to the same string (Figure 4's Beijing and Shenzhen Uber routes both
+// become "RVLH") even though their ground distance is enormous — exactly
+// the failure mode DFD-based discovery avoids.
+package symbolic
+
+import (
+	"math"
+	"strings"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// Symbol is a pre-defined movement pattern (Figure 4a).
+type Symbol byte
+
+const (
+	// Vertical is a long straight leg heading predominantly north/south.
+	Vertical Symbol = 'V'
+	// Horizontal is a long straight leg heading predominantly east/west.
+	Horizontal Symbol = 'H'
+	// Left is a left turn (counterclockwise heading change).
+	Left Symbol = 'L'
+	// Right is a right turn (clockwise heading change).
+	Right Symbol = 'R'
+)
+
+// turnThresholdDeg separates "straight" fragments from turns.
+const turnThresholdDeg = 35
+
+// Classify maps one fragment of consecutive points to its symbol by
+// comparing the entry and exit headings: small change means a straight
+// (V or H by predominant direction), otherwise a turn by sign.
+func Classify(fragment []geo.Point) Symbol {
+	if len(fragment) < 3 {
+		return classifyStraight(fragment)
+	}
+	mid := len(fragment) / 2
+	hIn := geo.Bearing(fragment[0], fragment[mid])
+	hOut := geo.Bearing(fragment[mid], fragment[len(fragment)-1])
+	turn := normDeg(hOut - hIn)
+	switch {
+	case math.Abs(turn) <= turnThresholdDeg:
+		return classifyStraight(fragment)
+	case turn < 0:
+		return Left
+	default:
+		return Right
+	}
+}
+
+func classifyStraight(fragment []geo.Point) Symbol {
+	if len(fragment) < 2 {
+		return Vertical
+	}
+	b := geo.Bearing(fragment[0], fragment[len(fragment)-1])
+	// North/south headings are within 45 degrees of 0 or 180.
+	if math.Abs(normDeg(b)) <= 45 || math.Abs(normDeg(b-180)) <= 45 {
+		return Vertical
+	}
+	return Horizontal
+}
+
+// normDeg maps an angle to (-180, 180].
+func normDeg(d float64) float64 {
+	for d > 180 {
+		d -= 360
+	}
+	for d <= -180 {
+		d += 360
+	}
+	return d
+}
+
+// Encode converts a trajectory into its symbol string using fragments of
+// fragLen points (minimum 2). A trailing remainder forms its own final
+// fragment unless it is shorter than two points, in which case it is
+// folded into the previous one.
+func Encode(t *traj.Trajectory, fragLen int) string {
+	if fragLen < 2 {
+		fragLen = 2
+	}
+	var sb strings.Builder
+	n := t.Len()
+	for start := 0; start+1 < n; start += fragLen {
+		end := start + fragLen
+		if end > n || n-end < 2 {
+			end = n
+		}
+		sb.WriteByte(byte(Classify(t.Points[start:end])))
+		if end == n {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// Motif is a repeated symbol substring: two non-overlapping occurrences.
+type Motif struct {
+	Pattern        string
+	First, Second  int // fragment offsets of the two occurrences
+	FragmentLength int
+}
+
+// LongestRepeat finds the longest substring occurring at two
+// non-overlapping positions of s, by suffix dynamic programming in O(k²).
+// ok is false when no repeat of length >= 1 exists.
+func LongestRepeat(s string) (pattern string, first, second int, ok bool) {
+	k := len(s)
+	if k < 2 {
+		return "", 0, 0, false
+	}
+	// dp[i][j] = length of the common prefix of s[i:] and s[j:]. The
+	// non-overlap cap (j - i) applies only when ranking a repeat, never
+	// inside the recurrence — capping the table itself would truncate
+	// longer matches that become non-overlapping at earlier offsets.
+	prev := make([]int, k+1)
+	cur := make([]int, k+1)
+	bestLen := 0
+	for i := k - 1; i >= 0; i-- {
+		for j := k - 1; j > i; j-- {
+			if s[i] == s[j] {
+				cur[j] = prev[j+1] + 1
+				usable := cur[j]
+				if cap := j - i; usable > cap {
+					usable = cap
+				}
+				if usable > bestLen {
+					bestLen = usable
+					first, second = i, j
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		copy(prev, cur)
+		for x := range cur {
+			cur[x] = 0
+		}
+	}
+	if bestLen == 0 {
+		return "", 0, 0, false
+	}
+	return s[first : first+bestLen], first, second, true
+}
+
+// Discover runs the full symbolic pipeline on one trajectory: encode,
+// then longest repeated substring. The returned fragment offsets convert
+// to point spans via Span.
+func Discover(t *traj.Trajectory, fragLen int) (Motif, bool) {
+	s := Encode(t, fragLen)
+	pattern, first, second, ok := LongestRepeat(s)
+	if !ok {
+		return Motif{}, false
+	}
+	return Motif{Pattern: pattern, First: first, Second: second, FragmentLength: fragLen}, true
+}
+
+// Span converts a fragment offset and the motif's pattern length into the
+// corresponding point span on the original trajectory.
+func (m Motif) Span(fragOffset int, trajLen int) traj.Span {
+	start := fragOffset * m.FragmentLength
+	end := (fragOffset + len(m.Pattern)) * m.FragmentLength
+	if end > trajLen-1 {
+		end = trajLen - 1
+	}
+	return traj.Span{Start: start, End: end}
+}
+
+// SameString reports whether two trajectories encode to the same symbol
+// string — the Figure 4 failure mode check.
+func SameString(a, b *traj.Trajectory, fragLen int) (string, string, bool) {
+	sa, sb := Encode(a, fragLen), Encode(b, fragLen)
+	return sa, sb, sa == sb
+}

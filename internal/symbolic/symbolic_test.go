@@ -1,0 +1,163 @@
+package symbolic
+
+import (
+	"testing"
+
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// gridRoute builds a route of straight legs from (lat,lng) moves, each leg
+// sampled with `per` points, offset to a city center.
+func gridRoute(center geo.Point, legs [][2]float64, per int) *traj.Trajectory {
+	pts := []geo.Point{center}
+	cur := center
+	for _, leg := range legs {
+		for k := 1; k <= per; k++ {
+			pts = append(pts, geo.Offset(cur, leg[0]*float64(k)/float64(per), leg[1]*float64(k)/float64(per)))
+		}
+		cur = geo.Offset(cur, leg[0], leg[1])
+	}
+	return traj.FromPoints(pts)
+}
+
+func TestClassifyStraights(t *testing.T) {
+	north := gridRoute(geo.Point{Lat: 39.9, Lng: 116.4}, [][2]float64{{0, 500}}, 6)
+	if got := Classify(north.Points); got != Vertical {
+		t.Errorf("north leg = %c, want V", got)
+	}
+	east := gridRoute(geo.Point{Lat: 39.9, Lng: 116.4}, [][2]float64{{500, 0}}, 6)
+	if got := Classify(east.Points); got != Horizontal {
+		t.Errorf("east leg = %c, want H", got)
+	}
+}
+
+func TestClassifyTurns(t *testing.T) {
+	// North then east: a right turn at the midpoint.
+	right := gridRoute(geo.Point{Lat: 39.9, Lng: 116.4}, [][2]float64{{0, 300}, {300, 0}}, 4)
+	if got := Classify(right.Points); got != Right {
+		t.Errorf("N-then-E = %c, want R", got)
+	}
+	// North then west: a left turn.
+	left := gridRoute(geo.Point{Lat: 39.9, Lng: 116.4}, [][2]float64{{0, 300}, {-300, 0}}, 4)
+	if got := Classify(left.Points); got != Left {
+		t.Errorf("N-then-W = %c, want L", got)
+	}
+	if got := Classify([]geo.Point{{Lat: 1, Lng: 1}}); got != Vertical {
+		t.Errorf("degenerate fragment = %c, want V fallback", got)
+	}
+}
+
+func TestLongestRepeat(t *testing.T) {
+	cases := []struct {
+		s       string
+		pattern string
+		ok      bool
+	}{
+		{"RVLHRVLH", "RVLH", true},
+		{"VVVVVV", "VVV", true}, // capped so occurrences cannot overlap
+		{"RVLH", "R", false},    // no repeated symbol at all? R,V,L,H unique
+		{"", "", false},
+		{"V", "", false},
+		{"LRLRLR", "LR", true}, // "LRL" occurrences overlap; "LR" is longest non-overlapping
+		{"LRLHLRL", "LRL", true},
+	}
+	for _, c := range cases {
+		pattern, first, second, ok := LongestRepeat(c.s)
+		if ok != c.ok {
+			t.Errorf("%q: ok=%v, want %v", c.s, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if pattern != c.pattern {
+			t.Errorf("%q: pattern=%q, want %q", c.s, pattern, c.pattern)
+		}
+		if second < first+len(pattern) {
+			t.Errorf("%q: occurrences overlap: %d,%d len %d", c.s, first, second, len(pattern))
+		}
+		if c.s[first:first+len(pattern)] != pattern || c.s[second:second+len(pattern)] != pattern {
+			t.Errorf("%q: offsets do not match pattern", c.s)
+		}
+	}
+}
+
+// TestFigure4FailureMode reproduces the paper's Figure 4: the same
+// R-V-L-H street pattern driven in Beijing and in Shenzhen maps to the
+// same symbol string although the trajectories are ~2000 km apart, so
+// symbolic matching would wrongly report them as a motif. DFD exposes the
+// true distance.
+func TestFigure4FailureMode(t *testing.T) {
+	// right turn, vertical, left turn, horizontal — one symbol per 2 legs.
+	legs := [][2]float64{
+		{0, 400}, {400, 0}, // N then E   -> R
+		{0, 400}, {0, 400}, // N, N       -> V
+		{0, 400}, {-400, 0}, // N then W  -> L
+		{-400, 0}, {-400, 0}, // W, W     -> H
+	}
+	beijing := gridRoute(geo.Point{Lat: 39.9042, Lng: 116.4074}, legs, 3)
+	shenzhen := gridRoute(geo.Point{Lat: 22.5431, Lng: 114.0579}, legs, 3)
+
+	fragLen := 6 // two legs per fragment (3 points each)
+	sa, sb, same := SameString(beijing, shenzhen, fragLen)
+	if sa != "RVLH" {
+		t.Errorf("beijing string = %q, want RVLH", sa)
+	}
+	if !same {
+		t.Fatalf("strings differ: %q vs %q — Figure 4 requires identical encodings", sa, sb)
+	}
+	d := dist.DFD(beijing.Points, shenzhen.Points, geo.Haversine)
+	if d < 1_000_000 {
+		t.Errorf("DFD between cities = %.0f m, expected >1000 km", d)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	// A route that drives the same R-turn block twice with filler between.
+	legs := [][2]float64{
+		{0, 400}, {400, 0}, // R
+		{0, 400}, {400, 0}, // R (immediate repeat)
+	}
+	tr := gridRoute(geo.Point{Lat: 37.98, Lng: 23.72}, legs, 3)
+	m, ok := Discover(tr, 7)
+	if !ok {
+		t.Fatal("expected a symbolic motif")
+	}
+	if len(m.Pattern) < 1 {
+		t.Errorf("empty pattern")
+	}
+	spanA := m.Span(m.First, tr.Len())
+	spanB := m.Span(m.Second, tr.Len())
+	if !spanA.Valid(tr.Len()) || !spanB.Valid(tr.Len()) {
+		t.Errorf("invalid spans %v %v", spanA, spanB)
+	}
+
+	// A trajectory with no repeated structure yields no motif.
+	single := gridRoute(geo.Point{Lat: 37.98, Lng: 23.72}, [][2]float64{{0, 400}, {400, 0}}, 3)
+	if s := Encode(single, 7); len(s) > 1 {
+		t.Fatalf("unexpected encoding %q", s)
+	}
+	if _, ok := Discover(single, 7); ok {
+		t.Error("single-symbol trajectory should have no repeat")
+	}
+}
+
+func TestEncodeShortTail(t *testing.T) {
+	// 10 points with fragLen 4: fragments [0..3], [4..7], [8..9] — the
+	// two-point tail stands alone; an 11-point input would fold its
+	// one-point tail into the final fragment instead.
+	pts := make([]geo.Point, 10)
+	for k := range pts {
+		pts[k] = geo.Offset(geo.Point{Lat: 10, Lng: 10}, 0, float64(k)*50)
+	}
+	s := Encode(traj.FromPoints(pts), 4)
+	if s != "VVV" {
+		t.Errorf("encoding = %q, want VVV", s)
+	}
+	pts = append(pts, geo.Offset(geo.Point{Lat: 10, Lng: 10}, 0, 500))
+	if s := Encode(traj.FromPoints(pts), 4); s != "VVV" {
+		t.Errorf("11-point encoding = %q, want VVV (tail folded)", s)
+	}
+}

@@ -1,0 +1,264 @@
+// Package traj defines the spatial trajectory model of the paper (§3,
+// Definition 1): a trajectory is a sequence of lat/lng points with an
+// optional sequence of ascending timestamps, and a subtrajectory S[i..ie]
+// is a contiguous slice of it identified by inclusive start/end indexes.
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"trajmotif/internal/geo"
+)
+
+// Trajectory is a sequence of spatial samples. Times is either nil (no
+// timestamps) or exactly as long as Points, with non-decreasing values.
+// Timestamps may be non-uniform; the motif algorithms never assume a fixed
+// sampling rate (that robustness is precisely why the paper adopts DFD).
+type Trajectory struct {
+	Points []geo.Point
+	Times  []time.Time
+}
+
+// New validates points (and the optional timestamps) and returns a
+// trajectory that shares the provided slices.
+func New(points []geo.Point, times []time.Time) (*Trajectory, error) {
+	if len(points) == 0 {
+		return nil, errors.New("traj: empty trajectory")
+	}
+	for k, p := range points {
+		if !p.Valid() {
+			return nil, fmt.Errorf("traj: invalid point %v at index %d", p, k)
+		}
+	}
+	if times != nil {
+		if len(times) != len(points) {
+			return nil, fmt.Errorf("traj: %d timestamps for %d points", len(times), len(points))
+		}
+		for k := 1; k < len(times); k++ {
+			if times[k].Before(times[k-1]) {
+				return nil, fmt.Errorf("traj: timestamps not ascending at index %d", k)
+			}
+		}
+	}
+	return &Trajectory{Points: points, Times: times}, nil
+}
+
+// FromPoints builds an untimed trajectory, panicking on invalid input.
+// It is a convenience for tests and generators that construct points
+// programmatically.
+func FromPoints(points []geo.Point) *Trajectory {
+	t, err := New(points, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of samples n = |S|.
+func (t *Trajectory) Len() int { return len(t.Points) }
+
+// Span identifies the subtrajectory S[Start..End], both indexes inclusive,
+// following the paper's S_{i,ie} notation.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of points covered by the span.
+func (s Span) Len() int { return s.End - s.Start + 1 }
+
+// Steps returns the number of movement steps (edges), End-Start. The
+// paper's minimum-length constraint "ie > i + ξ" is a constraint on steps.
+func (s Span) Steps() int { return s.End - s.Start }
+
+// Valid reports whether the span denotes a non-empty subtrajectory of a
+// trajectory with n points.
+func (s Span) Valid(n int) bool {
+	return 0 <= s.Start && s.Start < s.End && s.End < n
+}
+
+// Overlaps reports whether two spans share any index.
+func (s Span) Overlaps(o Span) bool {
+	return s.Start <= o.End && o.Start <= s.End
+}
+
+func (s Span) String() string { return fmt.Sprintf("[%d..%d]", s.Start, s.End) }
+
+// Sub returns the subtrajectory points S[i..ie] as a view (no copy).
+// It panics when the span is invalid, mirroring slice semantics.
+func (t *Trajectory) Sub(i, ie int) []geo.Point {
+	return t.Points[i : ie+1]
+}
+
+// SubSpan returns the points covered by sp as a view.
+func (t *Trajectory) SubSpan(sp Span) []geo.Point {
+	return t.Points[sp.Start : sp.End+1]
+}
+
+// TimeRange returns the first and last timestamp of the span, or ok=false
+// if the trajectory is untimed.
+func (t *Trajectory) TimeRange(sp Span) (first, last time.Time, ok bool) {
+	if t.Times == nil {
+		return time.Time{}, time.Time{}, false
+	}
+	return t.Times[sp.Start], t.Times[sp.End], true
+}
+
+// Concat concatenates trajectories in order, sharing no state with the
+// inputs. Timestamps are preserved only when every input is timed and the
+// sequence remains non-decreasing across boundaries; otherwise the result
+// is untimed. This mirrors the paper's evaluation setup, which concatenates
+// raw trajectories to build longer ones (§6.1).
+func Concat(parts ...*Trajectory) (*Trajectory, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("traj: nothing to concatenate")
+	}
+	total := 0
+	timed := true
+	for _, p := range parts {
+		if p == nil || p.Len() == 0 {
+			return nil, errors.New("traj: nil or empty part")
+		}
+		total += p.Len()
+		if p.Times == nil {
+			timed = false
+		}
+	}
+	points := make([]geo.Point, 0, total)
+	var times []time.Time
+	if timed {
+		times = make([]time.Time, 0, total)
+	}
+	for _, p := range parts {
+		points = append(points, p.Points...)
+		if timed {
+			if len(times) > 0 && p.Times[0].Before(times[len(times)-1]) {
+				timed, times = false, nil
+			} else {
+				times = append(times, p.Times...)
+			}
+		}
+	}
+	return New(points, times)
+}
+
+// Clip returns a deep copy of the first n points (or the whole trajectory
+// if n >= Len). It is used by the harness to sweep trajectory lengths.
+func (t *Trajectory) Clip(n int) *Trajectory {
+	if n > t.Len() {
+		n = t.Len()
+	}
+	out := &Trajectory{Points: append([]geo.Point(nil), t.Points[:n]...)}
+	if t.Times != nil {
+		out.Times = append([]time.Time(nil), t.Times[:n]...)
+	}
+	return out
+}
+
+// BoundingBox returns the south-west and north-east corners of the
+// trajectory's axis-aligned bounding box.
+func (t *Trajectory) BoundingBox() (sw, ne geo.Point) {
+	sw = geo.Point{Lat: math.Inf(1), Lng: math.Inf(1)}
+	ne = geo.Point{Lat: math.Inf(-1), Lng: math.Inf(-1)}
+	for _, p := range t.Points {
+		sw.Lat = math.Min(sw.Lat, p.Lat)
+		sw.Lng = math.Min(sw.Lng, p.Lng)
+		ne.Lat = math.Max(ne.Lat, p.Lat)
+		ne.Lng = math.Max(ne.Lng, p.Lng)
+	}
+	return sw, ne
+}
+
+// PathLength returns the total travelled distance under df.
+func (t *Trajectory) PathLength(df geo.DistanceFunc) float64 {
+	var sum float64
+	for k := 1; k < len(t.Points); k++ {
+		sum += df(t.Points[k-1], t.Points[k])
+	}
+	return sum
+}
+
+// SamplingStats summarizes the inter-sample time gaps of a timed
+// trajectory. It quantifies the "non-uniform/varying sampling rate"
+// property the paper highlights for real datasets (§1, §2).
+type SamplingStats struct {
+	Samples     int
+	MinGap      time.Duration
+	MaxGap      time.Duration
+	MeanGap     time.Duration
+	Gaps        int // number of gaps (Samples-1)
+	Irregular   bool
+	DropoutsOve int // gaps more than 5x the mean (missing-sample episodes)
+}
+
+// Sampling computes SamplingStats; ok is false for untimed or single-point
+// trajectories.
+func (t *Trajectory) Sampling() (SamplingStats, bool) {
+	if t.Times == nil || t.Len() < 2 {
+		return SamplingStats{}, false
+	}
+	st := SamplingStats{
+		Samples: t.Len(),
+		Gaps:    t.Len() - 1,
+		MinGap:  time.Duration(math.MaxInt64),
+	}
+	var total time.Duration
+	for k := 1; k < t.Len(); k++ {
+		g := t.Times[k].Sub(t.Times[k-1])
+		total += g
+		if g < st.MinGap {
+			st.MinGap = g
+		}
+		if g > st.MaxGap {
+			st.MaxGap = g
+		}
+	}
+	st.MeanGap = total / time.Duration(st.Gaps)
+	if st.MeanGap > 0 {
+		for k := 1; k < t.Len(); k++ {
+			if t.Times[k].Sub(t.Times[k-1]) > 5*st.MeanGap {
+				st.DropoutsOve++
+			}
+		}
+	}
+	st.Irregular = st.MaxGap > 2*st.MinGap
+	return st, true
+}
+
+// Resample returns a copy of the trajectory keeping every point whose index
+// the keep function accepts; the first and last points are always kept.
+// It is used to build the non-uniform-sampling demonstrations of Figure 3.
+func (t *Trajectory) Resample(keep func(i int) bool) *Trajectory {
+	points := make([]geo.Point, 0, t.Len())
+	var times []time.Time
+	if t.Times != nil {
+		times = make([]time.Time, 0, t.Len())
+	}
+	for k, p := range t.Points {
+		if k == 0 || k == t.Len()-1 || keep(k) {
+			points = append(points, p)
+			if times != nil {
+				times = append(times, t.Times[k])
+			}
+		}
+	}
+	return &Trajectory{Points: points, Times: times}
+}
+
+// MotifConstraints captures Problem 1's feasibility rules for a candidate
+// pair of spans within a single trajectory: both legs strictly longer than
+// ξ steps and temporally non-overlapping (i < ie < j < je).
+func MotifConstraints(a, b Span, xi int) error {
+	if a.Steps() <= xi {
+		return fmt.Errorf("traj: first leg %v spans %d steps, need > %d", a, a.Steps(), xi)
+	}
+	if b.Steps() <= xi {
+		return fmt.Errorf("traj: second leg %v spans %d steps, need > %d", b, b.Steps(), xi)
+	}
+	if a.End >= b.Start {
+		return fmt.Errorf("traj: legs %v and %v overlap", a, b)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package traj
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trajmotif/internal/geo"
+)
+
+func linePoints(n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	base := geo.Point{Lat: 39.9, Lng: 116.4}
+	for i := range pts {
+		pts[i] = geo.Offset(base, float64(i)*10, 0)
+	}
+	return pts
+}
+
+func timedLine(n int, gap time.Duration) *Trajectory {
+	pts := linePoints(n)
+	times := make([]time.Time, n)
+	t0 := time.Date(2009, 4, 10, 7, 33, 0, 0, time.UTC)
+	for i := range times {
+		times[i] = t0.Add(time.Duration(i) * gap)
+	}
+	tr, err := New(pts, times)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty trajectory should fail")
+	}
+	if _, err := New([]geo.Point{{Lat: 91}}, nil); err == nil {
+		t.Error("invalid point should fail")
+	}
+	pts := linePoints(3)
+	if _, err := New(pts, make([]time.Time, 2)); err == nil {
+		t.Error("mismatched timestamp count should fail")
+	}
+	bad := []time.Time{time.Unix(10, 0), time.Unix(5, 0), time.Unix(20, 0)}
+	if _, err := New(pts, bad); err == nil {
+		t.Error("descending timestamps should fail")
+	}
+	equal := []time.Time{time.Unix(10, 0), time.Unix(10, 0), time.Unix(20, 0)}
+	if _, err := New(pts, equal); err != nil {
+		t.Errorf("non-decreasing timestamps should be allowed: %v", err)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s := Span{Start: 2, End: 7}
+	if s.Len() != 6 || s.Steps() != 5 {
+		t.Errorf("Len=%d Steps=%d, want 6,5", s.Len(), s.Steps())
+	}
+	if !s.Valid(8) || s.Valid(7) {
+		t.Error("Valid boundary check failed")
+	}
+	if (Span{0, 0}).Valid(5) {
+		t.Error("single-point span should be invalid")
+	}
+	if !s.Overlaps(Span{7, 9}) || s.Overlaps(Span{8, 9}) {
+		t.Error("Overlaps boundary check failed")
+	}
+	if s.String() != "[2..7]" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSubViews(t *testing.T) {
+	tr := FromPoints(linePoints(10))
+	sub := tr.Sub(2, 5)
+	if len(sub) != 4 {
+		t.Fatalf("Sub len = %d, want 4", len(sub))
+	}
+	if sub[0] != tr.Points[2] || sub[3] != tr.Points[5] {
+		t.Error("Sub returned wrong window")
+	}
+	if got := tr.SubSpan(Span{2, 5}); len(got) != 4 || got[0] != sub[0] {
+		t.Error("SubSpan mismatch")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	tr := timedLine(10, time.Second)
+	first, last, ok := tr.TimeRange(Span{1, 4})
+	if !ok {
+		t.Fatal("timed trajectory should report range")
+	}
+	if last.Sub(first) != 3*time.Second {
+		t.Errorf("range = %v", last.Sub(first))
+	}
+	untimed := FromPoints(linePoints(3))
+	if _, _, ok := untimed.TimeRange(Span{0, 1}); ok {
+		t.Error("untimed trajectory should not report range")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := timedLine(5, time.Second)
+	b := timedLine(5, time.Second)
+	// b starts at the same wall-clock time as a, so timestamps would go
+	// backwards at the boundary; Concat must drop them, not fail.
+	got, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", got.Len())
+	}
+	if got.Times != nil {
+		t.Error("non-monotonic boundary should drop timestamps")
+	}
+
+	// Shift b after a: timestamps survive.
+	for i := range b.Times {
+		b.Times[i] = b.Times[i].Add(time.Hour)
+	}
+	got, err = Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Times == nil || len(got.Times) != 10 {
+		t.Error("monotonic concat should keep timestamps")
+	}
+
+	if _, err := Concat(); err == nil {
+		t.Error("empty concat should fail")
+	}
+	if _, err := Concat(a, nil); err == nil {
+		t.Error("nil part should fail")
+	}
+}
+
+func TestClip(t *testing.T) {
+	tr := timedLine(10, time.Second)
+	c := tr.Clip(4)
+	if c.Len() != 4 || len(c.Times) != 4 {
+		t.Fatalf("Clip(4) len = %d/%d", c.Len(), len(c.Times))
+	}
+	c.Points[0].Lat = 0
+	if tr.Points[0].Lat == 0 {
+		t.Error("Clip must deep-copy")
+	}
+	if tr.Clip(99).Len() != 10 {
+		t.Error("Clip beyond length should return all")
+	}
+}
+
+func TestBoundingBoxAndPathLength(t *testing.T) {
+	tr := FromPoints(linePoints(11)) // 10 steps of 10 m east
+	sw, ne := tr.BoundingBox()
+	if sw.Lat > ne.Lat || sw.Lng >= ne.Lng {
+		t.Errorf("box corners wrong: %v %v", sw, ne)
+	}
+	gotLen := tr.PathLength(geo.Haversine)
+	if math.Abs(gotLen-100) > 0.1 {
+		t.Errorf("PathLength = %.2f, want ~100", gotLen)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := timedLine(100, 2*time.Second)
+	st, ok := tr.Sampling()
+	if !ok {
+		t.Fatal("expected stats")
+	}
+	if st.MeanGap != 2*time.Second || st.Irregular || st.DropoutsOve != 0 {
+		t.Errorf("uniform line stats wrong: %+v", st)
+	}
+
+	// Introduce a dropout.
+	for i := 50; i < 100; i++ {
+		tr.Times[i] = tr.Times[i].Add(5 * time.Minute)
+	}
+	st, _ = tr.Sampling()
+	if !st.Irregular || st.DropoutsOve != 1 {
+		t.Errorf("dropout not detected: %+v", st)
+	}
+
+	if _, ok := FromPoints(linePoints(3)).Sampling(); ok {
+		t.Error("untimed trajectory should not have stats")
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := timedLine(10, time.Second)
+	half := tr.Resample(func(i int) bool { return i%2 == 0 })
+	if half.Len() != 6 { // indexes 0,2,4,6,8 plus forced last 9
+		t.Fatalf("Resample len = %d, want 6", half.Len())
+	}
+	if half.Points[0] != tr.Points[0] || half.Points[half.Len()-1] != tr.Points[9] {
+		t.Error("endpoints must be preserved")
+	}
+	if len(half.Times) != half.Len() {
+		t.Error("times must follow points")
+	}
+}
+
+func TestMotifConstraints(t *testing.T) {
+	if err := MotifConstraints(Span{0, 6}, Span{7, 13}, 5); err != nil {
+		t.Errorf("feasible pair rejected: %v", err)
+	}
+	if err := MotifConstraints(Span{0, 5}, Span{7, 13}, 5); err == nil {
+		t.Error("short first leg accepted")
+	}
+	if err := MotifConstraints(Span{0, 6}, Span{7, 12}, 5); err == nil {
+		t.Error("short second leg accepted")
+	}
+	if err := MotifConstraints(Span{0, 7}, Span{7, 14}, 5); err == nil {
+		t.Error("overlapping legs accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package trajio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV parser never panics and that anything it
+// accepts round-trips through the writer.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("lat,lng\n39.9,116.4\n")
+	f.Add("39.9,116.4,1000\n40.0,116.5,1010\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("1,2\n3,,\n")
+	f.Add("91,0\n")
+	f.Add("header,row,extra\n-5.5,12.25,99.5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must produce a valid, writable trajectory.
+		if tr.Len() == 0 {
+			t.Fatal("accepted an empty trajectory")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+	})
+}
+
+// FuzzReadPLT asserts the GeoLife parser never panics on malformed files.
+func FuzzReadPLT(f *testing.F) {
+	header := "a\r\nb\r\nc\r\nd\r\ne\r\nf\r\n"
+	f.Add(header + "39.9,116.4,0,0,0,2009-10-11,14:04:30\r\n")
+	f.Add(header)
+	f.Add("")
+	f.Add(header + "39.9,116.4\r\n")
+	f.Add(header + "nan,inf,0,0,0,2009-10-11,25:99:99\r\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadPLT(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, p := range tr.Points {
+			if !p.Valid() {
+				t.Fatalf("parser accepted invalid point %v", p)
+			}
+		}
+	})
+}

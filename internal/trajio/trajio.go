@@ -1,0 +1,207 @@
+// Package trajio reads and writes spatial trajectories in the formats
+// relevant to the paper's evaluation: the GeoLife .plt logger format
+// (so the harness runs unchanged on the real Microsoft dataset), a plain
+// CSV format for the Truck/Wild-Baboon style exports, and writers for
+// both. Parsers are strict about geometry (invalid coordinates are
+// errors) but tolerant about optional fields.
+package trajio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// pltEpoch is the origin of the GeoLife "days since" field
+// (December 30, 1899 — the OLE automation epoch the dataset uses).
+var pltEpoch = time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
+
+// ReadPLT parses a GeoLife .plt file: six header lines, then records of
+// the form
+//
+//	lat,lng,0,altitude,days,date,time
+//
+// e.g. "39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30".
+// Timestamps are taken from the date and time fields.
+func ReadPLT(r io.Reader) (*traj.Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var points []geo.Point
+	var times []time.Time
+	line := 0
+	for sc.Scan() {
+		line++
+		if line <= 6 {
+			continue // fixed preamble
+		}
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 7 {
+			return nil, fmt.Errorf("trajio: plt line %d: %d fields, want 7", line, len(fields))
+		}
+		lat, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajio: plt line %d: bad latitude: %w", line, err)
+		}
+		lng, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajio: plt line %d: bad longitude: %w", line, err)
+		}
+		p := geo.Point{Lat: lat, Lng: lng}
+		if !p.Valid() {
+			return nil, fmt.Errorf("trajio: plt line %d: invalid point %v", line, p)
+		}
+		ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
+		if err != nil {
+			return nil, fmt.Errorf("trajio: plt line %d: bad timestamp: %w", line, err)
+		}
+		points = append(points, p)
+		times = append(times, ts)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("trajio: plt file contains no records")
+	}
+	return traj.New(points, times)
+}
+
+// WritePLT writes the trajectory in GeoLife .plt format, including the
+// standard six-line preamble.
+func WritePLT(w io.Writer, t *traj.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "Geolife trajectory\r\nWGS 84\r\nAltitude is in Feet\r\nReserved 3\r\n")
+	fmt.Fprint(bw, "0,2,255,My Track,0,0,2,8421376\r\n0\r\n")
+	for k, p := range t.Points {
+		ts := pltEpoch
+		if t.Times != nil {
+			ts = t.Times[k]
+		}
+		days := ts.Sub(pltEpoch).Hours() / 24
+		fmt.Fprintf(bw, "%.6f,%.6f,0,0,%.10f,%s,%s\r\n",
+			p.Lat, p.Lng, days, ts.Format("2006-01-02"), ts.Format("15:04:05"))
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "lat,lng[,unix_seconds]" records; a first line that does
+// not parse as a number is treated as a header and skipped. Timestamps are
+// kept only if present on every record.
+func ReadCSV(r io.Reader) (*traj.Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var points []geo.Point
+	var times []time.Time
+	timed := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trajio: csv line %d: %d fields, want at least 2", line, len(fields))
+		}
+		lat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("trajio: csv line %d: bad latitude: %w", line, err)
+		}
+		lng, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajio: csv line %d: bad longitude: %w", line, err)
+		}
+		p := geo.Point{Lat: lat, Lng: lng}
+		if !p.Valid() {
+			return nil, fmt.Errorf("trajio: csv line %d: invalid point %v", line, p)
+		}
+		points = append(points, p)
+		if len(fields) >= 3 && timed {
+			unix, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajio: csv line %d: bad timestamp: %w", line, err)
+			}
+			sec := int64(unix)
+			times = append(times, time.Unix(sec, int64((unix-float64(sec))*1e9)).UTC())
+		} else {
+			timed = false
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("trajio: csv file contains no records")
+	}
+	if !timed || len(times) != len(points) {
+		times = nil
+	}
+	return traj.New(points, times)
+}
+
+// WriteCSV writes "lat,lng[,unix_seconds]" records with a header line.
+func WriteCSV(w io.Writer, t *traj.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	if t.Times != nil {
+		fmt.Fprintln(bw, "lat,lng,unix")
+		for k, p := range t.Points {
+			fmt.Fprintf(bw, "%.7f,%.7f,%d\n", p.Lat, p.Lng, t.Times[k].Unix())
+		}
+	} else {
+		fmt.Fprintln(bw, "lat,lng")
+		for _, p := range t.Points {
+			fmt.Fprintf(bw, "%.7f,%.7f\n", p.Lat, p.Lng)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile loads a trajectory, dispatching on the file extension:
+// ".plt" for GeoLife, anything else as CSV.
+func ReadFile(path string) (*traj.Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".plt") {
+		return ReadPLT(f)
+	}
+	return ReadCSV(f)
+}
+
+// WriteFile saves a trajectory, dispatching on the file extension like
+// ReadFile.
+func WriteFile(path string, t *traj.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.EqualFold(filepath.Ext(path), ".plt") {
+		werr = WritePLT(f, t)
+	} else {
+		werr = WriteCSV(f, t)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,307 @@
+// Package trajmotif discovers motifs in spatial trajectories using the
+// discrete Fréchet distance (DFD), reproducing Tang, Yiu, Mouratidis and
+// Wang, "Efficient Motif Discovery in Spatial Trajectories Using Discrete
+// Fréchet Distance", EDBT 2017.
+//
+// A motif is the pair of most similar non-overlapping subtrajectories —
+// within one trajectory (Problem 1) or between two trajectories — where
+// similarity is the DFD, the "dog-man" bottleneck distance that tolerates
+// non-uniform sampling rates and local time shifting. Each subtrajectory
+// leg must span strictly more than ξ (MinLength) movement steps.
+//
+// Four exact algorithms are exposed, trading preprocessing for pruning:
+//
+//   - BruteDP   — the O(n⁴) dynamic-programming baseline (Algorithm 1)
+//   - BTM       — bounding-based discovery with relaxed O(1) lower bounds
+//     and best-first subset ordering (Algorithm 2)
+//   - GTM       — grouping-based multi-level pruning on top of BTM
+//     (Algorithm 3); the fastest configuration in the paper
+//   - GTMStar   — the space-efficient GTM variant computing ground
+//     distances on the fly in O(max((n/τ)², n)) memory (§5.5)
+//
+// All four return identical optimal distances; they differ only in time
+// and space. The simplest entry point is Discover:
+//
+//	t, _ := trajmotif.ReadFile("walk.plt")
+//	res, _ := trajmotif.Discover(t, 100, nil)
+//	fmt.Println(res.A, res.B, res.Distance) // spans + DFD in meters
+package trajmotif
+
+import (
+	"io"
+
+	"trajmotif/internal/batch"
+	"trajmotif/internal/cluster"
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/geojson"
+	"trajmotif/internal/group"
+	"trajmotif/internal/join"
+	"trajmotif/internal/knn"
+	"trajmotif/internal/prep"
+	"trajmotif/internal/symbolic"
+	"trajmotif/internal/traj"
+	"trajmotif/internal/trajio"
+)
+
+// Re-exported core types. See the internal packages for full method sets.
+type (
+	// Point is a latitude/longitude position in degrees.
+	Point = geo.Point
+	// DistanceFunc is a ground distance between two points in meters.
+	DistanceFunc = geo.DistanceFunc
+	// Trajectory is a sequence of points with optional ascending timestamps.
+	Trajectory = traj.Trajectory
+	// Span identifies a subtrajectory S[Start..End], inclusive.
+	Span = traj.Span
+	// Options tunes the search (ground distance, bound set, ablations).
+	Options = core.Options
+	// Result is a discovered motif: two spans, their DFD, and statistics.
+	Result = core.Result
+	// GroupResult extends Result with grouping-phase statistics.
+	GroupResult = group.Result
+	// Stats reports search effort (pruning counters, DP cells, memory).
+	Stats = core.Stats
+)
+
+// Ground distances.
+var (
+	// Haversine is the great-circle distance (the paper's default dG).
+	Haversine = geo.Haversine
+	// Euclidean treats coordinates as planar meters.
+	Euclidean DistanceFunc = geo.Euclidean
+)
+
+// ErrTooShort is returned when no feasible motif exists for the inputs.
+var ErrTooShort = core.ErrTooShort
+
+// NewTrajectory validates and wraps a point sequence (see traj.New).
+func NewTrajectory(points []Point) (*Trajectory, error) {
+	return traj.New(points, nil)
+}
+
+// DefaultTau is the initial group size used by Discover; τ=32 is the
+// paper's default, shown in §6.2.3 to be robust across datasets.
+const DefaultTau = 32
+
+// Discover finds the motif within trajectory t using the paper's best
+// configuration (GTM with τ = DefaultTau). minLength is ξ: each motif leg
+// must span strictly more than ξ steps. opt may be nil for defaults
+// (haversine ground distance, relaxed bounds).
+func Discover(t *Trajectory, minLength int, opt *Options) (*GroupResult, error) {
+	return group.GTM(t, minLength, DefaultTau, opt)
+}
+
+// DiscoverBetween finds the motif between two trajectories (the §3
+// problem variant without the ordering constraint).
+func DiscoverBetween(t, u *Trajectory, minLength int, opt *Options) (*GroupResult, error) {
+	return group.GTMCross(t, u, minLength, DefaultTau, opt)
+}
+
+// BruteDP runs the Algorithm 1 baseline on a single trajectory.
+func BruteDP(t *Trajectory, minLength int, opt *Options) (*Result, error) {
+	return core.BruteDP(t, minLength, opt)
+}
+
+// BruteDPBetween runs the baseline across two trajectories.
+func BruteDPBetween(t, u *Trajectory, minLength int, opt *Options) (*Result, error) {
+	return core.BruteDPCross(t, u, minLength, opt)
+}
+
+// BTM runs the bounding-based Algorithm 2 on a single trajectory.
+func BTM(t *Trajectory, minLength int, opt *Options) (*Result, error) {
+	return core.BTM(t, minLength, opt)
+}
+
+// BTMBetween runs Algorithm 2 across two trajectories.
+func BTMBetween(t, u *Trajectory, minLength int, opt *Options) (*Result, error) {
+	return core.BTMCross(t, u, minLength, opt)
+}
+
+// GTM runs the grouping-based Algorithm 3 with initial group size tau.
+func GTM(t *Trajectory, minLength, tau int, opt *Options) (*GroupResult, error) {
+	return group.GTM(t, minLength, tau, opt)
+}
+
+// GTMBetween runs Algorithm 3 across two trajectories.
+func GTMBetween(t, u *Trajectory, minLength, tau int, opt *Options) (*GroupResult, error) {
+	return group.GTMCross(t, u, minLength, tau, opt)
+}
+
+// GTMStar runs the space-efficient GTM variant (§5.5).
+func GTMStar(t *Trajectory, minLength, tau int, opt *Options) (*GroupResult, error) {
+	return group.GTMStar(t, minLength, tau, opt)
+}
+
+// GTMStarBetween runs GTM* across two trajectories.
+func GTMStarBetween(t, u *Trajectory, minLength, tau int, opt *Options) (*GroupResult, error) {
+	return group.GTMStarCross(t, u, minLength, tau, opt)
+}
+
+// DFD returns the discrete Fréchet distance between two point sequences
+// under df (nil selects Haversine).
+func DFD(a, b []Point, df DistanceFunc) float64 {
+	if df == nil {
+		df = geo.Haversine
+	}
+	return dist.DFD(a, b, df)
+}
+
+// ReadFile loads a trajectory from a GeoLife .plt or CSV file.
+func ReadFile(path string) (*Trajectory, error) { return trajio.ReadFile(path) }
+
+// WriteFile saves a trajectory to a .plt or CSV file by extension.
+func WriteFile(path string, t *Trajectory) error { return trajio.WriteFile(path, t) }
+
+// Synthetic dataset generation (see internal/datagen for the modelling
+// rationale; the generators stand in for the paper's three real datasets).
+type (
+	// DatasetConfig seeds and sizes a synthetic dataset.
+	DatasetConfig = datagen.Config
+	// DatasetName selects one of the three synthesized workloads.
+	DatasetName = datagen.Name
+)
+
+// Dataset names matching the paper's evaluation datasets (§6.1).
+const (
+	GeoLife = datagen.GeoLifeName
+	Truck   = datagen.TruckName
+	Baboon  = datagen.BaboonName
+)
+
+// GenerateDataset synthesizes one of the evaluation workloads.
+func GenerateDataset(name DatasetName, cfg DatasetConfig) (*Trajectory, error) {
+	return datagen.Dataset(name, cfg)
+}
+
+// GenerateDatasetPair synthesizes two trajectories sharing route
+// geography, for the two-trajectory problem variant.
+func GenerateDatasetPair(name DatasetName, cfg DatasetConfig) (*Trajectory, *Trajectory, error) {
+	return datagen.Pair(name, cfg)
+}
+
+// TopK returns up to k mutually disjoint motifs of t in ascending
+// distance order (an extension of Problem 1; see internal/core/topk.go).
+func TopK(t *Trajectory, minLength, k int, opt *Options) ([]Result, error) {
+	return core.TopK(t, minLength, k, opt)
+}
+
+// TopKBetween returns up to k disjoint motifs between two trajectories.
+func TopKBetween(t, u *Trajectory, minLength, k int, opt *Options) ([]Result, error) {
+	return core.TopKCross(t, u, minLength, k, opt)
+}
+
+// Similarity join and clustering — the paper's §7 future-work operations,
+// built on the same DFD bounding machinery.
+type (
+	// JoinPair is one result of a trajectory similarity join.
+	JoinPair = join.Pair
+	// JoinOptions tunes SimilarityJoin.
+	JoinOptions = join.Options
+	// JoinStats reports the join's filter-cascade effectiveness.
+	JoinStats = join.Stats
+	// ClusterOptions tunes ClusterSubtrajectories.
+	ClusterOptions = cluster.Options
+	// SubtrajectoryCluster is a group of windows within the radius of a
+	// representative subtrajectory.
+	SubtrajectoryCluster = cluster.Cluster
+)
+
+// SimilarityJoin reports every pair of trajectories within DFD eps, using
+// an endpoint/bounding-box/decision filter cascade.
+func SimilarityJoin(ts []*Trajectory, eps float64, opt *JoinOptions) ([]JoinPair, JoinStats, error) {
+	return join.Join(ts, eps, opt)
+}
+
+// DFDWithin decides DFD(a, b) <= eps with early abandoning, without
+// computing the full distance.
+func DFDWithin(a, b []Point, df DistanceFunc, eps float64) bool {
+	if df == nil {
+		df = geo.Haversine
+	}
+	return join.DFDWithin(a, b, df, eps)
+}
+
+// ClusterSubtrajectories groups sliding windows of t into clusters whose
+// members are within DFD eps of a representative window.
+func ClusterSubtrajectories(t *Trajectory, window int, eps float64, opt *ClusterOptions) ([]SubtrajectoryCluster, error) {
+	return cluster.Subtrajectories(t, window, eps, opt)
+}
+
+// Batch processing over trajectory collections (see internal/batch):
+// each search is the identical sequential algorithm; the fleet fans out
+// over a bounded worker pool.
+type (
+	// BatchItem is one trajectory's outcome in a batch discovery.
+	BatchItem = batch.Item
+	// BatchPairItem is one pair's outcome in an all-pairs discovery.
+	BatchPairItem = batch.PairItem
+	// BatchOptions tunes worker count, τ and per-search options.
+	BatchOptions = batch.Options
+)
+
+// DiscoverBatch runs motif discovery on every trajectory concurrently.
+func DiscoverBatch(ts []*Trajectory, minLength int, opt *BatchOptions) ([]BatchItem, error) {
+	return batch.Discover(ts, minLength, opt)
+}
+
+// DiscoverAllPairs runs two-trajectory discovery on every unordered pair.
+func DiscoverAllPairs(ts []*Trajectory, minLength int, opt *BatchOptions) ([]BatchPairItem, error) {
+	return batch.DiscoverAllPairs(ts, minLength, opt)
+}
+
+// Preprocessing for raw GPS data (see internal/prep).
+type (
+	// StayPoint is a detected dwell region.
+	StayPoint = prep.StayPoint
+)
+
+// RemoveSpeedSpikes drops GPS samples implying impossible speeds.
+var RemoveSpeedSpikes = prep.RemoveSpeedSpikes
+
+// Simplify reduces a trajectory with Douglas-Peucker at the given
+// tolerance in meters.
+var Simplify = prep.Simplify
+
+// StayPoints detects dwell regions of at least the given radius/duration.
+var StayPoints = prep.StayPoints
+
+// SplitOnGaps cuts a timed trajectory at recording gaps.
+var SplitOnGaps = prep.SplitOnGaps
+
+// Nearest-trajectory search (see internal/knn).
+type (
+	// Neighbor is one k-NN search result.
+	Neighbor = knn.Neighbor
+	// KNNOptions tunes NearestTrajectories.
+	KNNOptions = knn.Options
+	// KNNStats reports k-NN pruning effectiveness.
+	KNNStats = knn.Stats
+)
+
+// NearestTrajectories returns the k dataset trajectories most similar to
+// query under DFD, with lower-bound pruning and early-abandoning DFD.
+func NearestTrajectories(query *Trajectory, dataset []*Trajectory, k int, opt *KNNOptions) ([]Neighbor, KNNStats, error) {
+	return knn.Nearest(query, dataset, k, opt)
+}
+
+// WriteGeoJSON exports the trajectory with the motif's two legs
+// highlighted, viewable in any GeoJSON map tool (the paper's Figure 1(b)
+// rendering).
+func WriteGeoJSON(w io.Writer, t *Trajectory, res *Result) error {
+	return geojson.WriteMotif(w, t, res.A, res.B, res.Distance)
+}
+
+// SymbolicDiscover runs the symbolic baseline of the paper's Figure 4
+// (movement-pattern strings + longest repeated substring). It exists to
+// demonstrate the failure mode motivating DFD-based discovery; see
+// examples/symbolic.
+func SymbolicDiscover(t *Trajectory, fragLen int) (pattern string, a, b Span, ok bool) {
+	m, ok := symbolic.Discover(t, fragLen)
+	if !ok {
+		return "", Span{}, Span{}, false
+	}
+	return m.Pattern, m.Span(m.First, t.Len()), m.Span(m.Second, t.Len()), true
+}

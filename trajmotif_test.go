@@ -1,0 +1,114 @@
+package trajmotif
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := GenerateDataset(GeoLife, DatasetConfig{Seed: 1, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(tr, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance <= 0 || math.IsInf(res.Distance, 1) {
+		t.Fatalf("implausible motif distance %g", res.Distance)
+	}
+	// All algorithm entry points must agree.
+	btm, err := BTM(tr, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := GTMStar(tr, 20, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Distance-btm.Distance) > 1e-9 || math.Abs(res.Distance-star.Distance) > 1e-9 {
+		t.Fatalf("facade algorithms disagree: GTM %g BTM %g GTM* %g",
+			res.Distance, btm.Distance, star.Distance)
+	}
+	// The reported pair's DFD must equal the reported distance.
+	d := DFD(tr.SubSpan(res.A), tr.SubSpan(res.B), nil)
+	if math.Abs(d-res.Distance) > 1e-9 {
+		t.Fatalf("pair DFD %g != result %g", d, res.Distance)
+	}
+}
+
+func TestFacadeBetween(t *testing.T) {
+	a, b, err := GenerateDatasetPair(Truck, DatasetConfig{Seed: 2, N: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiscoverBetween(a, b, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := BruteDPBetween(a, b, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Distance-brute.Distance) > 1e-9 {
+		t.Fatalf("between: GTM %g != BruteDP %g", res.Distance, brute.Distance)
+	}
+	if _, err := GTMBetween(a, b, 15, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GTMStarBetween(a, b, 15, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BTMBetween(a, b, 15, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	tr, _ := GenerateDataset(Baboon, DatasetConfig{Seed: 3, N: 60})
+	path := filepath.Join(t.TempDir(), "x.csv")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 60 {
+		t.Fatalf("round trip lost points: %d", back.Len())
+	}
+}
+
+func TestFacadeConstructorsAndErrors(t *testing.T) {
+	if _, err := NewTrajectory(nil); err == nil {
+		t.Error("empty trajectory should error")
+	}
+	pts := []Point{{Lat: 1, Lng: 1}, {Lat: 1.1, Lng: 1.1}, {Lat: 1.2, Lng: 1.2}}
+	tr, err := NewTrajectory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Discover(tr, 100, nil); err != ErrTooShort {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+	if _, err := BruteDP(tr, 100, nil); err != ErrTooShort {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+}
+
+func TestSymbolicFacade(t *testing.T) {
+	// Straight dense line: encodes to VVV..., which repeats.
+	pts := make([]Point, 40)
+	for k := range pts {
+		pts[k] = Point{Lat: 10 + float64(k)*0.001, Lng: 20}
+	}
+	tr, _ := NewTrajectory(pts)
+	pattern, a, b, ok := SymbolicDiscover(tr, 4)
+	if !ok || len(pattern) == 0 {
+		t.Fatal("expected symbolic motif on repetitive encoding")
+	}
+	if !a.Valid(tr.Len()) || !b.Valid(tr.Len()) {
+		t.Errorf("invalid spans %v %v", a, b)
+	}
+}
