@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,3 @@
+module trajmotif
+
+go 1.24

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+)
+
+// TestMeasureRankingTable1Story pins the paper's Table 1 argument as a
+// direct unit test (independent of the runTable1 harness): against a base
+// curve, a geometrically closer but resampled/time-shifted copy must be
+// ranked closer than a farther uniform curve by DFD, while ED, DTW and
+// LCSS each mis-rank at least one of the probes.
+func TestMeasureRankingTable1Story(t *testing.T) {
+	curve := func(n int, offset float64) []geo.Point {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			x := float64(i)
+			pts[i] = geo.Point{Lng: x, Lat: math.Sin(x/8) + offset}
+		}
+		return pts
+	}
+	n := 64
+	base := curve(n, 0)
+	far := curve(n, 3) // uniform, parallel at distance 3
+
+	// Resampled probe: follows base at offset 1, but with an oversampled
+	// head and a sparse tail — same geometry, different sampling rate.
+	var resampled []geo.Point
+	for i := 0; i < 4*n; i++ {
+		x := float64(i) * 6.0 / float64(4*n)
+		resampled = append(resampled, geo.Point{Lng: x, Lat: math.Sin(x/8) + 1})
+	}
+	for x := 6.0; x < float64(n-1); x += 4 {
+		resampled = append(resampled, geo.Point{Lng: x, Lat: math.Sin(x/8) + 1})
+	}
+	resampled = append(resampled, geo.Point{Lng: float64(n - 1), Lat: math.Sin(float64(n-1)/8) + 1})
+
+	// Time-shifted probe: base with a momentary stall (five duplicated
+	// samples) inserted at index 20 — geometrically identical to base.
+	var shifted []geo.Point
+	shifted = append(shifted, base[:20]...)
+	for k := 0; k < 5; k++ {
+		shifted = append(shifted, base[20])
+	}
+	shifted = append(shifted, base[20:]...)
+
+	// An exact geometric twin of base, thinly sampled (every 8th point).
+	var sparseTwin []geo.Point
+	for i := 0; i < n; i += 8 {
+		sparseTwin = append(sparseTwin, base[i])
+	}
+	sparseTwin = append(sparseTwin, base[n-1])
+
+	// DFD ranks both probes correctly: the offset-1 resampled curve and
+	// the distance-0 shifted copy both beat the distance-3 parallel.
+	if !(dist.DFD(base, resampled, geo.Euclidean) < dist.DFD(base, far, geo.Euclidean)) {
+		t.Error("DFD mis-ranked the resampled probe against the far curve")
+	}
+	if !(dist.DFD(base, shifted, geo.Euclidean) < dist.DFD(base, far, geo.Euclidean)) {
+		t.Error("DFD mis-ranked the time-shifted probe against the far curve")
+	}
+	if d := dist.DFD(base, shifted, geo.Euclidean); d != 0 {
+		t.Errorf("DFD(base, shifted) = %g, want 0: duplicates couple for free", d)
+	}
+
+	// ED mis-ranks both. Different lengths force truncation, which
+	// misaligns everything; the stall shifts every later sample.
+	ed := func(x, y []geo.Point) float64 {
+		m := min(len(x), len(y))
+		d, err := dist.ED(x[:m], y[:m], geo.Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if ed(base, resampled) < ed(base, far) {
+		t.Error("ED unexpectedly ranked the resampled probe correctly")
+	}
+	if ed(base, shifted) < 0.2*ed(base, far) {
+		t.Error("ED unexpectedly absorbed the time shift")
+	}
+
+	// DTW mis-ranks the resampled probe: the oversampled head contributes
+	// hundreds of summed terms that swamp the geometry.
+	if dist.DTW(base, resampled, geo.Euclidean) < dist.DTW(base, far, geo.Euclidean) {
+		t.Error("DTW unexpectedly ranked the resampled probe correctly")
+	}
+
+	// LCSS mis-ranks by sampling density: the dense near-miss curve
+	// outscores the exact but thinly sampled twin.
+	if dist.LCSS(base, sparseTwin, geo.Euclidean, 1.2) >= dist.LCSS(base, resampled, geo.Euclidean, 1.2) {
+		t.Error("LCSS unexpectedly preferred the exact sparse twin over the dense near-miss")
+	}
+}

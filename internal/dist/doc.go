@@ -1,0 +1,47 @@
+// Package dist implements the trajectory similarity measures compared in
+// §2 of Tang, Yiu, Mouratidis and Wang, "Efficient Motif Discovery in
+// Spatial Trajectories Using Discrete Fréchet Distance" (EDBT 2017): the discrete Fréchet distance (DFD) that the
+// paper builds on, and the four classical measures its Table 1 rejects —
+// lock-step Euclidean distance (ED), dynamic time warping (DTW), the
+// longest common subsequence model (LCSS), and edit distance on real
+// sequences (EDR).
+//
+// Every measure is parameterized by a geo.DistanceFunc ground distance,
+// so the same code serves GPS data (geo.Haversine, the paper's dG) and
+// planar or synthetic data (geo.Euclidean). Results are in the ground
+// distance's unit — meters under Haversine.
+//
+// # Why DFD
+//
+// A trajectory measure for motif discovery must tolerate two artifacts of
+// real GPS recordings (paper §2, Table 1):
+//
+//   - non-uniform sampling rates — the same path recorded at 1 Hz and at
+//     0.2 Hz should still be recognized as the same path;
+//   - local time shifting — a momentary stall that duplicates a few
+//     samples should not misalign everything recorded after it.
+//
+// ED fails both: it compares positions index by index, so it is undefined
+// across lengths and a single stall knocks every later sample off its
+// partner. DTW and EDR absorb time shifts but sum (respectively count)
+// per-sample costs, so an oversampled segment contributes many terms and
+// outweighs geometry. LCSS rewards dense sampling for the mirror reason:
+// its similarity is a raw match count. DFD is the bottleneck cost of the
+// best order-preserving coupling — the classic "dog walker" metaphor: the
+// shortest leash such that dog and owner can each walk their trajectory
+// without backing up. Extra samples merely extend a coupling with cheap
+// repeats, and a stall couples to a single point at no cost, so DFD
+// carries both robustness properties while staying a metric-like bottleneck
+// quantity in ground-distance units. That choice is what the lower bounds
+// in internal/bounds and the grouping search in internal/group exploit.
+//
+// # Implementations
+//
+// All five measures share the same O(n·m) dynamic-programming skeleton.
+// DFD, DTW, EDR and LCSS keep only two rolling rows, for O(min(n,m))
+// working space (the §5.5 "Idea ii" layout); DFDMatrix materializes the
+// full table for callers that need to inspect intermediate couplings, and
+// DFDFromGrid runs the recurrence over an externally computed ground
+// distance grid (how the internal/bounds and internal/group test suites
+// verify their window bounds against exact sub-grid DFDs).
+package dist
