@@ -140,13 +140,53 @@ func GTMStarBetween(t, u *Trajectory, minLength, tau int, opt *Options) (*GroupR
 	return group.GTMStarCross(t, u, minLength, tau, opt)
 }
 
+// ground resolves the facade's nil-DistanceFunc default to Haversine.
+func ground(df DistanceFunc) DistanceFunc {
+	if df == nil {
+		return geo.Haversine
+	}
+	return df
+}
+
 // DFD returns the discrete Fréchet distance between two point sequences
 // under df (nil selects Haversine).
 func DFD(a, b []Point, df DistanceFunc) float64 {
-	if df == nil {
-		df = geo.Haversine
-	}
-	return dist.DFD(a, b, df)
+	return dist.DFD(a, b, ground(df))
+}
+
+// DTW returns the dynamic time warping distance between two point
+// sequences under df (nil selects Haversine). It is provided for
+// comparison; unlike DFD it is inflated by oversampled segments (the
+// paper's Table 1 and Figure 3).
+func DTW(a, b []Point, df DistanceFunc) float64 {
+	return dist.DTW(a, b, ground(df))
+}
+
+// ED returns the lock-step mean pointwise distance between two
+// equal-length sequences under df (nil selects Haversine), erroring on a
+// length mismatch.
+func ED(a, b []Point, df DistanceFunc) (float64, error) {
+	return dist.ED(a, b, ground(df))
+}
+
+// EDR returns the edit distance on real sequences: the minimal number of
+// insertions, deletions and substitutions, where points within eps of
+// each other (under df; nil selects Haversine) match for free.
+func EDR(a, b []Point, df DistanceFunc, eps float64) int {
+	return dist.EDR(a, b, ground(df), eps)
+}
+
+// LCSS returns the length of the longest common subsequence of a and b,
+// where points within eps of each other (under df; nil selects
+// Haversine) are considered equal. Larger is more similar.
+func LCSS(a, b []Point, df DistanceFunc, eps float64) int {
+	return dist.LCSS(a, b, ground(df), eps)
+}
+
+// LCSSDistance returns the normalized LCSS dissimilarity
+// 1 − LCSS/min(len(a), len(b)), in [0, 1].
+func LCSSDistance(a, b []Point, df DistanceFunc, eps float64) float64 {
+	return dist.LCSSDistance(a, b, ground(df), eps)
 }
 
 // ReadFile loads a trajectory from a GeoLife .plt or CSV file.
@@ -218,10 +258,7 @@ func SimilarityJoin(ts []*Trajectory, eps float64, opt *JoinOptions) ([]JoinPair
 // DFDWithin decides DFD(a, b) <= eps with early abandoning, without
 // computing the full distance.
 func DFDWithin(a, b []Point, df DistanceFunc, eps float64) bool {
-	if df == nil {
-		df = geo.Haversine
-	}
-	return join.DFDWithin(a, b, df, eps)
+	return join.DFDWithin(a, b, ground(df), eps)
 }
 
 // ClusterSubtrajectories groups sliding windows of t into clusters whose

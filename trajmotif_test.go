@@ -97,6 +97,47 @@ func TestFacadeConstructorsAndErrors(t *testing.T) {
 	}
 }
 
+func TestFacadeMeasures(t *testing.T) {
+	// Two parallel east-west tracks ~111 m apart (0.001° of latitude).
+	a := make([]Point, 6)
+	b := make([]Point, 6)
+	for i := range a {
+		a[i] = Point{Lat: 40, Lng: 116 + float64(i)*0.001}
+		b[i] = Point{Lat: 40.001, Lng: 116 + float64(i)*0.001}
+	}
+	sep := Haversine(a[0], b[0])
+
+	if d := DFD(a, b, nil); math.Abs(d-sep) > 1e-6 {
+		t.Errorf("DFD = %g, want separation %g", d, sep)
+	}
+	if d := DTW(a, b, nil); math.Abs(d-float64(len(a))*sep) > 1e-6 {
+		t.Errorf("DTW = %g, want %g (separation summed per pair)", d, float64(len(a))*sep)
+	}
+	d, err := ED(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-sep) > 1e-6 {
+		t.Errorf("ED = %g, want %g", d, sep)
+	}
+	if _, err := ED(a, b[:3], nil); err == nil {
+		t.Error("ED must error on a length mismatch")
+	}
+	// With eps above the separation everything matches; below, nothing.
+	if got := LCSS(a, b, nil, sep+1); got != len(a) {
+		t.Errorf("LCSS with generous eps = %d, want %d", got, len(a))
+	}
+	if got := LCSSDistance(a, b, nil, sep/2); got != 1 {
+		t.Errorf("LCSSDistance with tight eps = %g, want 1", got)
+	}
+	if got := EDR(a, b, nil, sep+1); got != 0 {
+		t.Errorf("EDR with generous eps = %d, want 0", got)
+	}
+	if got := EDR(a, b, nil, sep/2); got != len(a) {
+		t.Errorf("EDR with tight eps = %d, want %d (all substitutions)", got, len(a))
+	}
+}
+
 func TestSymbolicFacade(t *testing.T) {
 	// Straight dense line: encodes to VVV..., which repeats.
 	pts := make([]Point, 40)
