@@ -1,12 +1,23 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench fmt vet
+.PHONY: build test bench fmt vet race fuzz
 
 build:
 	$(GO) build ./...
 
 test: vet
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of every fuzz target (go test drives one target per
+# invocation). Override the budget with FUZZTIME=30s make fuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDFDKernel$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/trajio
+	$(GO) test -run '^$$' -fuzz '^FuzzReadPLT$$' -fuzztime $(FUZZTIME) ./internal/trajio
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

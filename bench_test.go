@@ -421,6 +421,77 @@ func BenchmarkAblationMultiLevel(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationEarlyAbandon isolates the kernel-level early
+// abandoning of subset DPs against the best-so-far bound (ROADMAP:
+// "Early-abandoning DFD inside motif search"), on the two drivers where
+// hopeless subsets actually reach the DP: the BruteDP baseline and
+// unsorted BTM. DP cells expanded are reported as a metric so the
+// reduction is visible alongside the time.
+func BenchmarkAblationEarlyAbandon(b *testing.B) {
+	t := benchTraj(b, datagen.GeoLifeName)
+	clipped := t.Clip(120)
+	run := func(b *testing.B, f func() *core.Result) {
+		var cells int64
+		for i := 0; i < b.N; i++ {
+			cells = f().Stats.DPCells
+		}
+		b.ReportMetric(float64(cells), "dp-cells")
+	}
+	b.Run("brutedp-abandon", func(b *testing.B) {
+		run(b, func() *core.Result {
+			res, err := core.BruteDP(clipped, 6, nil)
+			sink(b, res, err)
+			return res
+		})
+	})
+	b.Run("brutedp-full", func(b *testing.B) {
+		run(b, func() *core.Result {
+			res, err := core.BruteDP(clipped, 6, &core.Options{DisableEarlyAbandon: true})
+			sink(b, res, err)
+			return res
+		})
+	})
+	b.Run("btm-unsorted-abandon", func(b *testing.B) {
+		run(b, func() *core.Result {
+			res, err := core.BTM(t, benchXi, &core.Options{Unsorted: true})
+			sink(b, res, err)
+			return res
+		})
+	})
+	b.Run("btm-unsorted-full", func(b *testing.B) {
+		run(b, func() *core.Result {
+			res, err := core.BTM(t, benchXi, &core.Options{Unsorted: true, DisableEarlyAbandon: true})
+			sink(b, res, err)
+			return res
+		})
+	})
+}
+
+// BenchmarkKernelCapped measures the fused capped kernel against the
+// plain exact kernel at the same length: the cap is the kind of
+// best-so-far bound k-NN holds, so the capped run abandons within a few
+// rows.
+func BenchmarkKernelCapped(b *testing.B) {
+	t := benchTraj(b, datagen.GeoLifeName)
+	x, y := t.Points[:200], t.Points[200:400]
+	exact := dist.DFD(x, y, geo.Haversine)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.DFD(x, y, geo.Haversine)
+		}
+	})
+	b.Run("capped-tight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.DFDCapped(x, y, geo.Haversine, exact/4)
+		}
+	})
+	b.Run("decision", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.DFDDecision(x, y, geo.Haversine, exact/4)
+		}
+	})
+}
+
 // BenchmarkAblationDFDSpace compares the linear-space DFD inner loop with
 // the full-matrix form (§5.5, Idea ii).
 func BenchmarkAblationDFDSpace(b *testing.B) {

@@ -110,8 +110,8 @@ func main() {
 	fmt.Printf("found in %v with %s\n", elapsed.Round(time.Millisecond), *algo)
 	if *stats {
 		s := res.Stats
-		fmt.Printf("candidate subsets: %d, processed: %d (pruned %.2f%%), DP cells: %d, ~%.1f MB\n",
-			s.Subsets, s.SubsetsProcessed, 100*s.PruneRatio(), s.DPCells,
+		fmt.Printf("candidate subsets: %d, processed: %d (pruned %.2f%%), abandoned mid-DP: %d, DP cells: %d, ~%.1f MB\n",
+			s.Subsets, s.SubsetsProcessed, 100*s.PruneRatio(), s.SubsetsAbandoned, s.DPCells,
 			float64(s.PeakBytes)/(1<<20))
 	}
 	if *geoOut != "" && u == nil {

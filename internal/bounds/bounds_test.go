@@ -22,17 +22,11 @@ func randPoints(r *rand.Rand, n int) []geo.Point {
 }
 
 // exactDFD computes the DFD of the candidate (i,ie,j,je) directly from the
-// grid window, serving as the ground truth for bound soundness tests.
+// grid window — the canonical kernel's windowed form, no copy — serving as
+// the ground truth for bound soundness tests.
 func exactDFD(g dmatrix.Grid, i, ie, j, je int) float64 {
-	sub := make([][]float64, ie-i+1)
-	for x := range sub {
-		row := make([]float64, je-j+1)
-		for y := range row {
-			row[y] = g.At(i+x, j+y)
-		}
-		sub[x] = row
-	}
-	return dist.DFDFromGrid(sub)
+	d, _ := dist.DFDFromGridCapped(g, i, ie, j, je, math.Inf(1))
+	return d
 }
 
 func TestSlidingMax(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"trajmotif/internal/bounds"
+	"trajmotif/internal/dist"
 	"trajmotif/internal/dmatrix"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
@@ -75,6 +76,11 @@ type Options struct {
 	// CollectBreakdown computes the per-bound pruning attribution used by
 	// Figure 15 after the search completes. Costs one extra O(n²) pass.
 	CollectBreakdown bool
+	// DisableEarlyAbandon turns off the kernel-level early abandoning of
+	// subset dynamic programs against the best-so-far bound (on by
+	// default), for the early-abandoning ablation. Never changes results,
+	// only the number of DP cells expanded.
+	DisableEarlyAbandon bool
 	// Epsilon enables (1+ε)-approximate discovery, the future-work
 	// direction of the paper's §7: a candidate set is pruned once its
 	// lower bound reaches bsf/(1+ε), so the returned distance is at most
@@ -97,6 +103,10 @@ type Stats struct {
 	Subsets int64
 	// SubsetsProcessed survived every lower bound and had their DP run.
 	SubsetsProcessed int64
+	// SubsetsAbandoned counts processed subsets whose DP was cut short by
+	// the kernel's early abandoning: a completed row's minimum proved no
+	// remaining candidate could beat the best-so-far bound.
+	SubsetsAbandoned int64
 	// DPCells is the number of dynamic-programming cells expanded.
 	DPCells int64
 
@@ -200,7 +210,11 @@ type Searcher struct {
 	best      Result
 
 	endCross bool
-	stats    Stats
+	// earlyAbandon stops a subset's DP once a completed row's minimum —
+	// a lower bound on every later cell (the kernel's row-crossing
+	// argument) — can no longer beat bsf. On by default.
+	earlyAbandon bool
+	stats        Stats
 
 	// approxFactor is 1+ε; Prunable compares bounds against
 	// bsf/approxFactor, which yields a (1+ε)-approximation (see
@@ -224,11 +238,17 @@ func NewSearcher(g dmatrix.Grid, xi int, self bool, rb *bounds.Relaxed, endCross
 		rb:           rb,
 		bsf:          math.Inf(1),
 		endCross:     endCross && rb != nil,
+		earlyAbandon: true,
 		approxFactor: 1,
 		prev:         make([]float64, m),
 		cur:          make([]float64, m),
 	}
 }
+
+// SetEarlyAbandon toggles the kernel-level early abandoning of subset DPs
+// against the best-so-far bound. It is on by default; disabling it only
+// increases the number of DP cells expanded, never changes results.
+func (s *Searcher) SetEarlyAbandon(on bool) { s.earlyAbandon = on }
 
 // SetEpsilon switches the searcher to (1+eps)-approximate pruning.
 // Negative values are treated as zero (exact).
@@ -257,25 +277,53 @@ func (s *Searcher) TightenBsf(ub float64) {
 	}
 }
 
+// abandonable reports whether a DP row minimum proves that no remaining
+// cell of the current subset can change the search outcome. It mirrors
+// the candidate-acceptance predicate exactly — every later cell is at
+// least rowMin, so none can pass `v < bsf` (or `v <= bsf` while the best
+// is unwitnessed) — and deliberately does not apply Prunable's (1+ε)
+// relaxation: early abandoning is a pure work-saver and must never change
+// results, even in approximate mode.
+func (s *Searcher) abandonable(rowMin float64) bool {
+	if s.bestKnown {
+		return rowMin >= s.bsf
+	}
+	return rowMin > s.bsf
+}
+
 // Prunable reports whether a candidate set with lower bound lb can be
 // skipped without losing the motif (or, with ε-approximation enabled,
-// without losing the (1+ε) guarantee).
+// without losing the (1+ε) guarantee). The relaxation applies only once a
+// concrete witness is held: while bsf rests on an unwitnessed group upper
+// bound (GUB_DFD), relaxed pruning could discard every candidate matching
+// bsf and end the search without a materialized pair, so until then only
+// strictly-worse subsets are pruned. Loosening pruning can only process
+// more subsets, so the (1+ε) guarantee is unaffected.
 func (s *Searcher) Prunable(lb float64) bool {
+	if !s.bestKnown {
+		return lb > s.bsf
+	}
 	threshold := s.bsf
 	if s.approxFactor > 1 && !math.IsInf(threshold, 1) {
 		threshold /= s.approxFactor
 	}
-	if s.bestKnown {
-		return lb >= threshold
-	}
-	return lb > threshold
+	return lb >= threshold
 }
 
 // ProcessSubset expands candidate subset CS_{i,j}: one dynamic program
 // over all end cells (ie, je), updating bsf whenever a feasible candidate
 // improves it. This is the shared-DP insight of Algorithm 1 lines 4-13 and
 // Algorithm 2 lines 6-11, with the end-cross cap of lines 12-13 applied
-// per subset (see DESIGN.md §1.2).
+// per subset (see DESIGN.md §1.2). The recurrence itself is the canonical
+// kernel's row primitives (dist.DFDBoundaryRow / dist.DFDRelaxRow); this
+// method contributes the candidate accounting and two subset-level cuts:
+//
+//   - end-cross cap: every candidate ending at a row beyond je must cross
+//     row je+1, so its DFD is at least Rmin[je]; once that disqualifies,
+//     the row horizon shrinks (relaxed Eq. 9/13; Alg. 2 lines 12-13);
+//   - early abandoning: the kernel row minimum lower-bounds every cell of
+//     all later rows, so once it is prunable against bsf the whole rest of
+//     the subset's DP is skipped.
 func (s *Searcher) ProcessSubset(i, j int) {
 	p := &s.p
 	ieHi := p.ieMax(j)
@@ -284,42 +332,33 @@ func (s *Searcher) ProcessSubset(i, j int) {
 
 	// Boundary row (ie = i): dF[i][je] is the running max of dG(i, j..je),
 	// the DFD of the single-point prefix against the growing second leg.
-	run := 0.0
-	for je := j; je <= jmax; je++ {
-		d := p.g.At(i, je)
-		if d > run {
-			run = d
-		}
-		s.prev[je-j] = run
-	}
+	dist.DFDBoundaryRow(p.g, i, j, jmax, s.prev)
 
 	// colMax tracks the boundary column dF[ie][j] = max dG(i..ie, j).
 	colMax := s.prev[0]
 	cells := int64(0)
 	for ie := i + 1; ie <= ieHi; ie++ {
+		// End-cross cap, re-evaluated per row as bsf tightens.
+		if s.endCross {
+			for je := j; je < jmax; je++ {
+				if s.Prunable(s.rb.EndRowMin(je)) {
+					jmax = je
+					break
+				}
+			}
+		}
+
 		if d := p.g.At(ie, j); d > colMax {
 			colMax = d
 		}
 		s.cur[0] = colMax
-		left := colMax
-		rowCells := jmax - j
-		for je := j + 1; je <= jmax; je++ {
-			off := je - j
-			reach := s.prev[off-1]
-			if v := s.prev[off]; v < reach {
-				reach = v
-			}
-			if left < reach {
-				reach = left
-			}
-			v := p.g.At(ie, je)
-			if reach > v {
-				v = reach
-			}
-			s.cur[off] = v
-			left = v
+		rowMin := dist.DFDRelaxRow(p.g, ie, j, jmax, s.prev, s.cur)
+		cells += int64(jmax-j) + 1
 
-			if ie >= i+p.xi+1 && je >= j+p.xi+1 {
+		// Candidate scan: cells with both legs longer than ξ steps.
+		if ie >= i+p.xi+1 {
+			for je := j + p.xi + 1; je <= jmax; je++ {
+				v := s.cur[je-j]
 				if v < s.bsf || (!s.bestKnown && v <= s.bsf) {
 					a := traj.Span{Start: i, End: ie}
 					b := traj.Span{Start: j, End: je}
@@ -331,18 +370,14 @@ func (s *Searcher) ProcessSubset(i, j int) {
 					}
 				}
 			}
-
-			// End-cross cap: every candidate ending at a row beyond je
-			// must cross row je+1, so its DFD is at least Rmin[je]. Once
-			// that bound disqualifies, no deeper row can win — shrink the
-			// subset's row horizon (relaxed Eq. 9/13; Alg. 2 lines 12-13).
-			if s.endCross && s.Prunable(s.rb.EndRowMin(je)) {
-				jmax = je
-				rowCells = je - j
-				break
-			}
 		}
-		cells += int64(rowCells) + 1
+
+		if s.earlyAbandon && s.abandonable(rowMin) {
+			if ie < ieHi {
+				s.stats.SubsetsAbandoned++
+			}
+			break
+		}
 		s.prev, s.cur = s.cur, s.prev
 	}
 	s.stats.DPCells += cells
@@ -401,6 +436,7 @@ func bruteDP(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error)
 		g = dmatrix.ComputeCross(a, b, opt.dist())
 	}
 	s := NewSearcher(g, xi, self, nil, false)
+	s.SetEarlyAbandon(opt == nil || !opt.DisableEarlyAbandon)
 	if !s.p.feasible() {
 		return nil, ErrTooShort
 	}
@@ -463,6 +499,7 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 
 	s := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
 	s.SetEpsilon(opt.Epsilon)
+	s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 	if !s.p.feasible() {
 		return nil, ErrTooShort
 	}

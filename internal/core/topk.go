@@ -91,6 +91,7 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 	for round := 0; round < k; round++ {
 		s := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
 		s.SetEpsilon(opt.Epsilon)
+		s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 		s.SetExclude(func(pa, pb traj.Span) bool {
 			if self {
 				all := append(append([]traj.Span{}, legsA...), legsB...)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
 )
@@ -101,27 +102,12 @@ func TestTopKSecondIsOptimalAmongDisjoint(t *testing.T) {
 	}
 }
 
+// exactPairDFD recomputes a reported pair's distance through the
+// full-table form (dist.DFDMatrix), an implementation independent of the
+// rolling-row kernel the searcher consumes.
 func exactPairDFD(tr *traj.Trajectory, a, b traj.Span) float64 {
-	pa, pb := tr.SubSpan(a), tr.SubSpan(b)
-	// Minimal rolling-rows DFD, Euclidean.
-	if len(pb) > len(pa) {
-		pa, pb = pb, pa
-	}
-	prev := make([]float64, len(pb))
-	cur := make([]float64, len(pb))
-	prev[0] = geo.Euclidean(pa[0], pb[0])
-	for j := 1; j < len(pb); j++ {
-		prev[j] = math.Max(prev[j-1], geo.Euclidean(pa[0], pb[j]))
-	}
-	for i := 1; i < len(pa); i++ {
-		cur[0] = math.Max(prev[0], geo.Euclidean(pa[i], pb[0]))
-		for j := 1; j < len(pb); j++ {
-			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
-			cur[j] = math.Max(reach, geo.Euclidean(pa[i], pb[j]))
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(pb)-1]
+	dp := dist.DFDMatrix(tr.SubSpan(a), tr.SubSpan(b), geo.Euclidean)
+	return dp[len(dp)-1][len(dp[0])-1]
 }
 
 func TestTopKValidation(t *testing.T) {

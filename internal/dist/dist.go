@@ -18,38 +18,15 @@ import (
 //
 //	dp[i][j] = max(df(a[i], b[j]), min(dp[i-1][j], dp[i][j-1], dp[i-1][j-1]))
 //
-// computed here with two rolling rows over the shorter sequence, so the
-// cost is O(n·m) time and O(min(n,m)) working space (§5.5, Idea ii).
+// computed by the canonical kernel (kernel.go) with two rolling rows over
+// the shorter sequence and the ground distance fused into the DP loop, so
+// the cost is O(n·m) time and O(min(n,m)) working space (§5.5, Idea ii).
 //
 // Two empty sequences are at distance 0; an empty sequence is infinitely
 // far from a non-empty one (no coupling exists).
 func DFD(a, b []geo.Point, df geo.DistanceFunc) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		if len(a) == len(b) {
-			return 0
-		}
-		return math.Inf(1)
-	}
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	m := len(b)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-
-	prev[0] = df(a[0], b[0])
-	for j := 1; j < m; j++ {
-		prev[j] = math.Max(prev[j-1], df(a[0], b[j]))
-	}
-	for i := 1; i < len(a); i++ {
-		cur[0] = math.Max(prev[0], df(a[i], b[0]))
-		for j := 1; j < m; j++ {
-			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
-			cur[j] = math.Max(reach, df(a[i], b[j]))
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
+	d, _ := DFDCapped(a, b, df, math.Inf(1))
+	return d
 }
 
 // DFDMatrix returns the full len(a)×len(b) dynamic-programming table of
@@ -82,12 +59,11 @@ func DFDMatrix(a, b []geo.Point, df geo.DistanceFunc) [][]float64 {
 
 // DFDFromGrid returns the discrete Fréchet distance given a precomputed
 // ground-distance grid: g[i][j] must hold df(a[i], b[j]) for the two
-// sequences being compared. All rows must have equal length. The bounds
-// and grouping test suites use this to evaluate exact DFDs of sub-windows
-// directly from a shared distance matrix when verifying their pruning
-// bounds. Degenerate grids follow DFD's conventions: a grid with no rows
-// (two empty sequences) is at distance 0, and a grid with rows but no
-// columns (one empty sequence) is infinitely far.
+// sequences being compared. All rows must have equal length. Degenerate
+// grids follow DFD's conventions: a grid with no rows (two empty
+// sequences) is at distance 0, and a grid with rows but no columns (one
+// empty sequence) is infinitely far. For evaluating a sub-window of a
+// shared matrix without copying it out, use DFDFromGridCapped.
 func DFDFromGrid(g [][]float64) float64 {
 	if len(g) == 0 {
 		return 0
@@ -95,24 +71,8 @@ func DFDFromGrid(g [][]float64) float64 {
 	if len(g[0]) == 0 {
 		return math.Inf(1)
 	}
-	m := len(g[0])
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-
-	prev[0] = g[0][0]
-	for j := 1; j < m; j++ {
-		prev[j] = math.Max(prev[j-1], g[0][j])
-	}
-	for i := 1; i < len(g); i++ {
-		row := g[i]
-		cur[0] = math.Max(prev[0], row[0])
-		for j := 1; j < m; j++ {
-			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
-			cur[j] = math.Max(reach, row[j])
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
+	d, _ := windowCapped(rowsGrid(g), 0, len(g)-1, 0, len(g[0])-1, math.Inf(1))
+	return d
 }
 
 // DTW returns the dynamic time warping distance between a and b under df:

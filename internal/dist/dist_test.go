@@ -7,7 +7,6 @@ import (
 
 	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
-	"trajmotif/internal/join"
 )
 
 // randWalk produces a jittery planar walk starting near (x0, y0), the same
@@ -170,8 +169,9 @@ func TestDFDEndpointLowerBound(t *testing.T) {
 }
 
 // TestDFDAgreesWithDecisionProcedure cross-checks the exact distance
-// against join.DFDWithin, the independent early-abandoning decision DP:
-// the decision at eps must equal DFD <= eps.
+// against the early-abandoning decision DP: the decision at eps must
+// equal DFD <= eps (the equivalence every decision caller relies on; the
+// wider eps sweeps live in kernel_test.go).
 func TestDFDAgreesWithDecisionProcedure(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 100; trial++ {
@@ -180,8 +180,8 @@ func TestDFDAgreesWithDecisionProcedure(t *testing.T) {
 		d := dist.DFD(a, b, geo.Euclidean)
 		for _, eps := range []float64{d * 0.5, d, d + 1e-9, d * 1.5} {
 			want := d <= eps
-			if got := join.DFDWithin(a, b, geo.Euclidean, eps); got != want {
-				t.Fatalf("DFDWithin(eps=%g) = %v, DFD = %g wants %v", eps, got, d, want)
+			if got := dist.DFDDecision(a, b, geo.Euclidean, eps); got != want {
+				t.Fatalf("DFDDecision(eps=%g) = %v, DFD = %g wants %v", eps, got, d, want)
 			}
 		}
 	}

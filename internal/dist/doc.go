@@ -35,13 +35,34 @@
 // quantity in ground-distance units. That choice is what the lower bounds
 // in internal/bounds and the grouping search in internal/group exploit.
 //
-// # Implementations
+// # The canonical DFD kernel
 //
-// All five measures share the same O(n·m) dynamic-programming skeleton.
-// DFD, DTW, EDR and LCSS keep only two rolling rows, for O(min(n,m))
-// working space (the §5.5 "Idea ii" layout); DFDMatrix materializes the
-// full table for callers that need to inspect intermediate couplings, and
-// DFDFromGrid runs the recurrence over an externally computed ground
-// distance grid (how the internal/bounds and internal/group test suites
-// verify their window bounds against exact sub-grid DFDs).
+// This package is the single source of truth for the discrete Fréchet
+// recurrence: the one row-relaxation loop in kernel.go (fused with the
+// ground-distance evaluation, two rolling rows, O(min(n,m)) space — the
+// §5.5 "Idea ii" layout) backs every DFD computation in the repository.
+// Its entry points are
+//
+//   - DFD — the exact distance;
+//   - DFDCapped — early-abandoning exact verification: stops as soon as a
+//     completed DP row proves the distance is at least the cap, returning
+//     a lower bound instead of burning the full O(n·m) table;
+//   - DFDDecision — the "DFD <= eps?" decision DP, which kills cells
+//     above eps and abandons when a row dies;
+//   - DFDFromGrid / DFDFromGridCapped — the same kernels over a
+//     precomputed ground-distance grid or a sub-window of one, without
+//     copying the window out of the shared matrix;
+//   - DFDBoundaryRow / DFDRelaxRow — the row primitives from which
+//     internal/core and internal/group compose their shared
+//     candidate-subset sweeps and interval (dminG/dmaxG) DPs.
+//
+// No other package carries a Fréchet recurrence; internal/join,
+// internal/knn, internal/core, internal/group and internal/bounds all
+// route through these entry points, so an optimization here speeds every
+// caller. The cross-package equivalence suite (kernel_test.go) and the
+// FuzzDFDKernel fuzz target pin all forms to each other.
+//
+// DTW, EDR and LCSS share the same O(n·m) skeleton with their own cost
+// models and rolling rows; DFDMatrix materializes the full table as an
+// independently-coded oracle for tests and coupling inspection.
 package dist

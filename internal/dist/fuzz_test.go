@@ -1,0 +1,102 @@
+package dist_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+)
+
+// fuzzCoord decodes 8 bytes into a finite coordinate, mapping NaN and
+// infinities to large finite values and clamping the magnitude so squared
+// Euclidean terms stay representable — the kernel's contract assumes
+// NaN-free ground distances, and the clamp still exercises extreme
+// (1e150-scale) coordinates.
+func fuzzCoord(b []byte) float64 {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if math.IsNaN(v) {
+		return 0
+	}
+	const lim = 1e150
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// FuzzDFDKernel feeds the kernel degenerate and adversarial inputs —
+// empty and single-point sequences, extreme but NaN-free coordinates,
+// arbitrary caps and radii — and asserts that nothing panics and that the
+// exact, capped, decision and full-table forms stay mutually consistent.
+func FuzzDFDKernel(f *testing.F) {
+	f.Add([]byte{}, 0, 1.0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 0, 0.0)
+	f.Add(make([]byte, 96), 2, 2.5)
+	f.Add(make([]byte, 160), 4, -1.0)
+	f.Fuzz(func(t *testing.T, data []byte, split int, eps float64) {
+		// Decode consecutive 16-byte chunks into points, splitting the
+		// sequence at the fuzzed index.
+		var pts []geo.Point
+		for len(data) >= 16 {
+			pts = append(pts, geo.Point{
+				Lat: fuzzCoord(data[:8]),
+				Lng: fuzzCoord(data[8:16]),
+			})
+			data = data[16:]
+		}
+		if split < 0 {
+			split = 0
+		}
+		if split > len(pts) {
+			split = len(pts)
+		}
+		a, b := pts[:split], pts[split:]
+		if math.IsNaN(eps) || math.IsInf(eps, 0) {
+			eps = 0
+		}
+
+		d := dist.DFD(a, b, geo.Euclidean)
+		if math.IsNaN(d) {
+			t.Fatalf("DFD returned NaN for finite coordinates")
+		}
+
+		// Decision and exact agreement, including at the boundary.
+		for _, e := range []float64{eps, d} {
+			if math.IsInf(e, 0) {
+				continue
+			}
+			want := d <= e
+			if got := dist.DFDDecision(a, b, geo.Euclidean, e); got != want {
+				t.Fatalf("DFDDecision(eps=%g) = %v, DFD = %g wants %v (lens %d, %d)",
+					e, got, d, want, len(a), len(b))
+			}
+		}
+
+		// Capped agreement: +Inf cap is exact; a fuzzed cap either
+		// completes exactly or abandons with a lower bound at or above it.
+		if dc, ex := dist.DFDCapped(a, b, geo.Euclidean, math.Inf(1)); ex || dc != d {
+			t.Fatalf("DFDCapped(+Inf) = %g (exceeded=%v), DFD = %g", dc, ex, d)
+		}
+		dc, ex := dist.DFDCapped(a, b, geo.Euclidean, eps)
+		if ex {
+			if dc < eps || dc > d {
+				t.Fatalf("abandoned value %g outside [cap %g, DFD %g]", dc, eps, d)
+			}
+		} else if dc != d {
+			t.Fatalf("DFDCapped(%g) completed with %g, DFD = %g", eps, dc, d)
+		}
+
+		// The full-table oracle agrees cell-for-cell at the corner.
+		if len(a) > 0 && len(b) > 0 {
+			dp := dist.DFDMatrix(a, b, geo.Euclidean)
+			if got := dp[len(a)-1][len(b)-1]; got != d {
+				t.Fatalf("DFDMatrix corner = %g, DFD = %g", got, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package dist
+
+// This file is the canonical discrete Fréchet kernel: every DFD dynamic
+// program in the repository — exact, early-abandoning (capped), decision,
+// and grid-windowed — reduces to the two row primitives below, written
+// once and instantiated generically. internal/join, internal/knn,
+// internal/core and internal/group all route through these entry points;
+// no other package carries its own Fréchet recurrence, so an optimization
+// here speeds every caller (ROADMAP: "Unify and optimize the DFD kernel").
+//
+// The recurrence (Eiter & Mannila 1994) over a ground-distance source g is
+//
+//	dF[i][j] = max(g(i, j), min(dF[i-1][j], dF[i][j-1], dF[i-1][j-1]))
+//
+// swept with two rolling rows in O(n·m) time and O(m) working space. Two
+// facts about the table back the capped variants:
+//
+//   - row crossing: every coupling advances the first cursor one row at a
+//     time, so any path to the final cell passes through every row; table
+//     values are non-decreasing along a path, hence the minimum of any
+//     completed row lower-bounds the final value. Once a row's minimum
+//     reaches the cap, no coupling can finish below it (early abandoning).
+//   - the same holds per column, which the decision DP exploits by killing
+//     cells above eps and abandoning when a whole row is dead.
+
+import (
+	"math"
+
+	"trajmotif/internal/geo"
+)
+
+// Grid is read-only access to a ground-distance grid: At(i, j) for
+// 0 <= i < n, 0 <= j < m with (n, m) = Dims(). It is structurally
+// identical to dmatrix.Grid, redeclared here so the kernel package stays
+// dependency-free; dmatrix.Matrix and dmatrix.Fly satisfy it as-is.
+type Grid interface {
+	At(i, j int) float64
+	Dims() (n, m int)
+}
+
+// pointGrid adapts two point sequences and a ground distance to the grid
+// shape. Instantiating the generic kernel with this concrete type fuses
+// the ground-distance evaluation into the DP loop — no intermediate
+// distance row is materialized beyond the rolling pair.
+type pointGrid struct {
+	a, b []geo.Point
+	df   geo.DistanceFunc
+}
+
+func (g pointGrid) At(i, j int) float64 { return g.df(g.a[i], g.b[j]) }
+func (g pointGrid) Dims() (int, int)    { return len(g.a), len(g.b) }
+
+// rowsGrid adapts an explicit [][]float64 table (the DFDFromGrid input
+// shape) to the grid interface.
+type rowsGrid [][]float64
+
+func (g rowsGrid) At(i, j int) float64 { return g[i][j] }
+func (g rowsGrid) Dims() (int, int) {
+	if len(g) == 0 {
+		return 0, 0
+	}
+	return len(g), len(g[0])
+}
+
+// boundaryRow fills dp[0..j1-j0] with the DP's first row over grid row i0,
+// columns j0..j1: the running maximum of ground distances, which is the
+// DFD of the single-point first leg against the growing second leg.
+func boundaryRow[G Grid](g G, i0, j0, j1 int, dp []float64) {
+	run := math.Inf(-1)
+	for je := j0; je <= j1; je++ {
+		if d := g.At(i0, je); d > run {
+			run = d
+		}
+		dp[je-j0] = run
+	}
+}
+
+// relaxRow advances the recurrence by one row over grid row ie, columns
+// j0..j1. prev holds the previous row and cur[0] must already hold this
+// row's boundary value dF[ie][j0] (the running column maximum); the
+// remaining cells follow the recurrence. Returns the minimum over
+// cur[0..j1-j0], which lower-bounds every cell of all later rows.
+func relaxRow[G Grid](g G, ie, j0, j1 int, prev, cur []float64) float64 {
+	left := cur[0]
+	rowMin := left
+	for je := j0 + 1; je <= j1; je++ {
+		k := je - j0
+		reach := prev[k]
+		if v := prev[k-1]; v < reach {
+			reach = v
+		}
+		if left < reach {
+			reach = left
+		}
+		v := g.At(ie, je)
+		if reach > v {
+			v = reach
+		}
+		cur[k] = v
+		left = v
+		if v < rowMin {
+			rowMin = v
+		}
+	}
+	return rowMin
+}
+
+// windowCapped is the shared exact/early-abandoning kernel over the
+// inclusive grid window rows i0..i1, columns j0..j1. It returns the exact
+// DFD of the window with exceeded == false, unless a completed row's
+// minimum reaches cap first, in which case it returns that minimum — a
+// valid lower bound on the window's DFD, itself >= cap — with
+// exceeded == true. A +Inf cap never abandons, so the result is exact.
+func windowCapped[G Grid](g G, i0, i1, j0, j1 int, cap float64) (d float64, exceeded bool) {
+	w := j1 - j0 + 1
+	prev := make([]float64, w)
+	cur := make([]float64, w)
+	capped := !math.IsInf(cap, 1)
+
+	boundaryRow(g, i0, j0, j1, prev)
+	// The boundary row is a running maximum, so its minimum is its first
+	// cell.
+	if capped && prev[0] >= cap {
+		return prev[0], true
+	}
+	colMax := prev[0]
+	for ie := i0 + 1; ie <= i1; ie++ {
+		if v := g.At(ie, j0); v > colMax {
+			colMax = v
+		}
+		cur[0] = colMax
+		rowMin := relaxRow(g, ie, j0, j1, prev, cur)
+		if capped && rowMin >= cap {
+			return rowMin, true
+		}
+		prev, cur = cur, prev
+	}
+	return prev[w-1], false
+}
+
+// decision answers dF[n-1][m-1] <= eps over a boolean live-cell DP: a cell
+// is live when some coupling reaches it with every pair within eps. The DP
+// abandons as soon as a full row dies, usually long before the O(n·m)
+// table is complete.
+func decision[G Grid](g G, n, m int, eps float64) bool {
+	prev := make([]bool, m)
+	cur := make([]bool, m)
+
+	if !(g.At(0, 0) <= eps) {
+		return false // endpoint rule: (0, 0) is on every coupling
+	}
+	prev[0] = true
+	for j := 1; j < m; j++ {
+		prev[j] = prev[j-1] && g.At(0, j) <= eps
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = prev[0] && g.At(i, 0) <= eps
+		alive := cur[0]
+		for j := 1; j < m; j++ {
+			if (prev[j] || prev[j-1] || cur[j-1]) && g.At(i, j) <= eps {
+				cur[j] = true
+				alive = true
+			} else {
+				cur[j] = false
+			}
+		}
+		if !alive {
+			return false // no coupling can continue past this row
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// DFDCapped computes the discrete Fréchet distance with early abandoning:
+// it returns the exact DFD with exceeded == false, unless it can prove
+// DFD(a, b) >= cap partway through, in which case it stops and returns a
+// partial value with exceeded == true. The partial value is a valid lower
+// bound on the true distance and is itself >= cap. A cap of +Inf never
+// abandons, so DFDCapped(a, b, df, +Inf) equals DFD(a, b, df) exactly.
+// When the DP completes, the returned distance is exact and may exceed a
+// finite cap only if the final cell alone does.
+//
+// Searchers use this to verify candidates against a best-so-far bound:
+// hopeless candidates die after a few rows instead of O(n·m) cells.
+// Empty-sequence conventions follow DFD, with exceeded == false.
+func DFDCapped(a, b []geo.Point, df geo.DistanceFunc, cap float64) (d float64, exceeded bool) {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0, false
+		}
+		return math.Inf(1), false
+	}
+	if len(b) > len(a) {
+		a, b = b, a // roll rows over the shorter sequence: O(min(n,m)) space
+	}
+	return windowCapped(pointGrid{a, b, df}, 0, len(a)-1, 0, len(b)-1, cap)
+}
+
+// DFDDecision decides DFD(a, b) <= eps without computing the distance,
+// abandoning as soon as no coupling within eps can continue. For finite
+// eps it agrees exactly with DFD(a, b, df) <= eps, including at boundary
+// values: two empty sequences (distance 0) are within any eps >= 0, and an
+// empty sequence is within no finite radius of a non-empty one.
+func DFDDecision(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b) && eps >= 0
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	return decision(pointGrid{a, b, df}, len(a), len(b), eps)
+}
+
+// DFDFromGridCapped runs the capped kernel over the inclusive sub-window
+// rows i0..i1, columns j0..j1 of a precomputed ground-distance grid, with
+// DFDCapped's cap semantics. This is how callers verify a candidate
+// sub-grid against a searcher's best-so-far bound without copying the
+// window out of the shared matrix. Degenerate windows follow the DFD
+// conventions: both ranges empty is distance 0, exactly one empty is +Inf.
+func DFDFromGridCapped(g Grid, i0, i1, j0, j1 int, cap float64) (d float64, exceeded bool) {
+	if i1 < i0 || j1 < j0 {
+		if i1 < i0 && j1 < j0 {
+			return 0, false
+		}
+		return math.Inf(1), false
+	}
+	return windowCapped[Grid](g, i0, i1, j0, j1, cap)
+}
+
+// DFDBoundaryRow exposes the kernel's first-row primitive: it fills
+// dp[0..j1-j0] with the running maximum of grid row i0 over columns
+// j0..j1, the DP boundary dF[i0][j0..j1]. internal/core and
+// internal/group build their shared candidate-subset sweeps from this and
+// DFDRelaxRow instead of carrying their own recurrences.
+func DFDBoundaryRow(g Grid, i0, j0, j1 int, dp []float64) {
+	boundaryRow[Grid](g, i0, j0, j1, dp)
+}
+
+// DFDRelaxRow exposes the kernel's row-advance primitive: given the
+// previous DP row in prev and this row's boundary value dF[ie][j0] already
+// stored in cur[0], it fills cur[1..j1-j0] by the recurrence and returns
+// the row minimum — a lower bound on every cell of all later rows, which
+// callers compare against a best-so-far bound to abandon early.
+func DFDRelaxRow(g Grid, ie, j0, j1 int, prev, cur []float64) (rowMin float64) {
+	return relaxRow[Grid](g, ie, j0, j1, prev, cur)
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
 )
 
@@ -86,5 +87,29 @@ func TestFlyEquivalence(t *testing.T) {
 	fs := NewFlySelf(a, geo.Euclidean)
 	if got := fs.At(1, 1); got != 0 {
 		t.Errorf("self Fly diagonal = %g", got)
+	}
+}
+
+// TestGridsFeedKernel pins the contract the searchers rely on: both grid
+// implementations satisfy the canonical kernel's Grid interface as-is, and
+// windows of a precomputed Matrix and an on-the-fly Fly grid produce the
+// same DFD through dist.DFDFromGridCapped as the point-form kernel.
+func TestGridsFeedKernel(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 1, 3, 1, 4, 0)
+	b := pts(0, 1, 1, 1, 2, 2, 3, 0)
+	m := ComputeCross(a, b, geo.Euclidean)
+	f := NewFlyCross(a, b, geo.Euclidean)
+	for i0 := 0; i0 < len(a); i0++ {
+		for j0 := 0; j0 < len(b); j0++ {
+			want := dist.DFD(a[i0:], b[j0:], geo.Euclidean)
+			dm, ex := dist.DFDFromGridCapped(m, i0, len(a)-1, j0, len(b)-1, math.Inf(1))
+			if ex || math.Abs(dm-want) > 1e-12 {
+				t.Errorf("Matrix window (%d.., %d..) = %g (exceeded=%v), want %g", i0, j0, dm, ex, want)
+			}
+			df, ex := dist.DFDFromGridCapped(f, i0, len(a)-1, j0, len(b)-1, math.Inf(1))
+			if ex || df != dm {
+				t.Errorf("Fly window (%d.., %d..) = %g, Matrix %g", i0, j0, df, dm)
+			}
+		}
 	}
 }

@@ -1,0 +1,46 @@
+package group
+
+// Regression test for a witness-loss bug in ε-approximate search that the
+// kernel-swap review surfaced (it predates the kernel): when a group
+// upper bound (GUB_DFD) tightened bsf to the exact motif value with no
+// materialized pair, the (1+ε)-relaxed Prunable threshold could discard
+// every candidate matching bsf, ending the search with "no witnessed
+// motif". Prunable now applies the relaxation only once a concrete
+// witness is held, and early abandoning never applies it at all.
+
+import (
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+)
+
+func TestApproximateGTMAlwaysWitnesses(t *testing.T) {
+	tr := fixture(t, datagen.GeoLifeName, 200)
+	exact, err := core.BTM(tr, 8, &core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.1, 0.5, 1.0, 3.0} {
+		for _, tau := range []int{4, 16, 64} {
+			res, err := GTM(tr, 8, tau, &core.Options{Epsilon: eps})
+			if err != nil {
+				t.Fatalf("eps=%g tau=%d: %v", eps, tau, err)
+			}
+			if res.Distance > exact.Distance*(1+eps)+1e-9 {
+				t.Fatalf("eps=%g tau=%d: %g violates the (1+eps) bound on %g",
+					eps, tau, res.Distance, exact.Distance)
+			}
+			// Early abandoning is a pure work-saver: the approximate result
+			// must be identical with it disabled.
+			off, err := GTM(tr, 8, tau, &core.Options{Epsilon: eps, DisableEarlyAbandon: true})
+			if err != nil {
+				t.Fatalf("eps=%g tau=%d (abandon off): %v", eps, tau, err)
+			}
+			if res.Distance != off.Distance || res.A != off.A || res.B != off.B {
+				t.Fatalf("eps=%g tau=%d: abandoning changed the approximate result: %g %v/%v vs %g %v/%v",
+					eps, tau, res.Distance, res.A, res.B, off.Distance, off.A, off.B)
+			}
+		}
+	}
+}

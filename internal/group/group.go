@@ -25,6 +25,7 @@ import (
 
 	"trajmotif/internal/bounds"
 	"trajmotif/internal/core"
+	"trajmotif/internal/dist"
 	"trajmotif/internal/dmatrix"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
@@ -90,10 +91,18 @@ type minGrid struct{ lv *Level }
 func (g minGrid) At(u, v int) float64 { return g.lv.Dmin(u, v) }
 func (g minGrid) Dims() (int, int)    { return g.lv.NA, g.lv.NB }
 
+// maxGrid is the Dmax counterpart, feeding the interval DFD's upper
+// recurrence through the same canonical kernel rows as the lower one.
+type maxGrid struct{ lv *Level }
+
+func (g maxGrid) At(u, v int) float64 { return g.lv.Dmax(u, v) }
+func (g maxGrid) Dims() (int, int)    { return g.lv.NA, g.lv.NB }
+
 // DFDBounds computes GLB_DFD(u, v) and GUB_DFD(u, v) (Eqs. 19-20) by the
-// interval DFD dynamic program of Definition 5, with the early-termination
-// rule of §5.3: once the minimum over the DP frontier row can no longer
-// improve either bound, the computation stops.
+// interval DFD dynamic program of Definition 5 — two runs of the canonical
+// kernel's row recurrence, one over the dminG grid and one over dmaxG —
+// with the early-termination rule of §5.3: once the minimum over the DP
+// frontier row can no longer improve either bound, the computation stops.
 //
 // glb lower-bounds the DFD of every candidate rooted in (g_u, g_v)
 // (subject to the minimum length ξ); gub, when finite, is the exact-DFD
@@ -121,13 +130,9 @@ func (lv *Level) DFDBounds(u, v, xi int, self bool, nPoints, mPoints int) (glb, 
 	endB := func(x int) int { return min((x+1)*lv.Tau-1, mPoints-1) }
 
 	// Boundary row ue = u: running max along ve.
-	runMin, runMax := 0.0, 0.0
-	for ve := v; ve <= veHi; ve++ {
-		runMin = math.Max(runMin, lv.Dmin(u, ve))
-		runMax = math.Max(runMax, lv.Dmax(u, ve))
-		prevMin[ve-v] = runMin
-		prevMax[ve-v] = runMax
-	}
+	gmin, gmax := minGrid{lv}, maxGrid{lv}
+	dist.DFDBoundaryRow(gmin, u, v, veHi, prevMin)
+	dist.DFDBoundaryRow(gmax, u, v, veHi, prevMax)
 	consider := func(ue, ve int, fmin, fmax float64) {
 		if ue-u >= gxi && ve-v >= gxi && fmin < glb {
 			glb = fmin
@@ -150,25 +155,13 @@ func (lv *Level) DFDBounds(u, v, xi int, self bool, nPoints, mPoints int) (glb, 
 		colMin = math.Max(colMin, lv.Dmin(ue, v))
 		colMax = math.Max(colMax, lv.Dmax(ue, v))
 		curMin[0], curMax[0] = colMin, colMax
-		consider(ue, v, colMin, colMax)
-		frontier := math.Min(colMin, math.Inf(1))
-		frontierMax := math.Min(colMax, math.Inf(1))
-		for ve := v + 1; ve <= veHi; ve++ {
-			off := ve - v
-			reach := math.Min(prevMin[off-1], math.Min(prevMin[off], curMin[off-1]))
-			fmin := math.Max(lv.Dmin(ue, ve), reach)
-			curMin[off] = fmin
-
-			reachMax := math.Min(prevMax[off-1], math.Min(prevMax[off], curMax[off-1]))
-			fmax := math.Max(lv.Dmax(ue, ve), reachMax)
-			curMax[off] = fmax
-
-			consider(ue, ve, fmin, fmax)
-			frontier = math.Min(frontier, fmin)
-			frontierMax = math.Min(frontierMax, fmax)
+		frontier := dist.DFDRelaxRow(gmin, ue, v, veHi, prevMin, curMin)
+		frontierMax := dist.DFDRelaxRow(gmax, ue, v, veHi, prevMax, curMax)
+		for ve := v; ve <= veHi; ve++ {
+			consider(ue, ve, curMin[ve-v], curMax[ve-v])
 		}
 		// Early termination: every later cell is at least the minimum of
-		// this completed row (induction over the recurrence), so once
+		// this completed row (the kernel's row-crossing argument), so once
 		// neither bound can improve, stop.
 		if frontier >= glb && frontierMax >= gub {
 			break
@@ -268,6 +261,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	rbPoint := bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
 	s := core.NewSearcher(grid, xi, self, rbPoint, !opt.DisableEndCross)
 	s.SetEpsilon(opt.Epsilon)
+	s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 	if !s.Feasible() {
 		return nil, core.ErrTooShort
 	}

@@ -62,15 +62,9 @@ func TestFigure12IntervalBracketing(t *testing.T) {
 	// Pair of subtrajectory groups G_{0,0} vs G_{3,3} (points 0-1 vs 6-7).
 	glb, gub := lv.DFDBounds(0, 3, 0, true, n, n)
 
-	// The concrete pair S[0..1], S[6..7]: compute its DFD from the grid.
-	sub := make([][]float64, 2)
-	for x := 0; x < 2; x++ {
-		sub[x] = make([]float64, 2)
-		for y := 0; y < 2; y++ {
-			sub[x][y] = g.At(x, 6+y)
-		}
-	}
-	d := dist.DFDFromGrid(sub)
+	// The concrete pair S[0..1], S[6..7]: its DFD straight from the shared
+	// grid window via the canonical kernel.
+	d, _ := dist.DFDFromGridCapped(g, 0, 1, 6, 7, math.Inf(1))
 	if glb > d+1e-12 {
 		t.Errorf("GLB %g > concrete DFD %g", glb, d)
 	}

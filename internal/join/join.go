@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
 )
@@ -98,7 +99,7 @@ func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, erro
 			}
 			p := Pair{I: i, J: j, Distance: eps}
 			if exact {
-				p.Distance = exactDFD(a, b, df)
+				p.Distance = dist.DFD(a, b, df)
 			}
 			out = append(out, p)
 			st.Reported++
@@ -108,45 +109,15 @@ func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, erro
 }
 
 // DFDWithin decides whether DFD(a, b) <= eps without computing the full
-// distance. Cells whose value would exceed eps are dead; the DP abandons
-// as soon as a row has no live cell. O(l^2) worst case, O(min l) space.
+// distance, by the canonical decision kernel (dist.DFDDecision): cells
+// whose value would exceed eps are dead and the DP abandons as soon as a
+// row has no live cell. O(l^2) worst case, O(min l) space. Empty inputs
+// are never within any radius (the join rejects them up front).
 func DFDWithin(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
 	if len(a) == 0 || len(b) == 0 {
 		return false
 	}
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	m := len(b)
-	// live[j] reports whether the coupling can reach (i, j) within eps.
-	prev := make([]bool, m)
-	cur := make([]bool, m)
-
-	prev[0] = df(a[0], b[0]) <= eps
-	if !prev[0] {
-		return false // endpoint rule
-	}
-	for j := 1; j < m; j++ {
-		prev[j] = prev[j-1] && df(a[0], b[j]) <= eps
-	}
-	for i := 1; i < len(a); i++ {
-		alive := false
-		cur[0] = prev[0] && df(a[i], b[0]) <= eps
-		alive = cur[0]
-		for j := 1; j < m; j++ {
-			if (prev[j] || prev[j-1] || cur[j-1]) && df(a[i], b[j]) <= eps {
-				cur[j] = true
-				alive = true
-			} else {
-				cur[j] = false
-			}
-		}
-		if !alive {
-			return false // early abandon: no coupling can continue
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
+	return dist.DFDDecision(a, b, df, eps)
 }
 
 type box struct {
@@ -194,28 +165,4 @@ func probeBound(a []geo.Point, bb box, df geo.DistanceFunc) float64 {
 		}
 	}
 	return lb
-}
-
-// exactDFD is the plain rolling-rows DFD; duplicated minimally here to
-// keep internal/join dependency-light.
-func exactDFD(a, b []geo.Point, df geo.DistanceFunc) float64 {
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	m := len(b)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-	prev[0] = df(a[0], b[0])
-	for j := 1; j < m; j++ {
-		prev[j] = math.Max(prev[j-1], df(a[0], b[j]))
-	}
-	for i := 1; i < len(a); i++ {
-		cur[0] = math.Max(prev[0], df(a[i], b[0]))
-		for j := 1; j < m; j++ {
-			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
-			cur[j] = math.Max(reach, df(a[i], b[j]))
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
 )
@@ -97,8 +98,8 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 		if h.Len() < k {
 			capd = math.Inf(1)
 		}
-		d, completed := dfdCapped(q, dataset[c.idx].Points, df, capd)
-		if !completed {
+		d, exceeded := dist.DFDCapped(q, dataset[c.idx].Points, df, capd)
+		if exceeded {
 			st.AbandonedEarly++
 			continue
 		}
@@ -125,40 +126,6 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 		return out[a].Index < out[b].Index
 	})
 	return out, st, nil
-}
-
-// dfdCapped computes DFD(a, b) but abandons once no coupling can finish
-// below cap, returning completed=false. When it completes, the returned
-// distance is exact (and may exceed cap only if the final cell does).
-func dfdCapped(a, b []geo.Point, df geo.DistanceFunc, cap float64) (float64, bool) {
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	m := len(b)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-	prev[0] = df(a[0], b[0])
-	for j := 1; j < m; j++ {
-		prev[j] = math.Max(prev[j-1], df(a[0], b[j]))
-	}
-	for i := 1; i < len(a); i++ {
-		cur[0] = math.Max(prev[0], df(a[i], b[0]))
-		rowMin := cur[0]
-		for j := 1; j < m; j++ {
-			reach := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
-			cur[j] = math.Max(reach, df(a[i], b[j]))
-			if cur[j] < rowMin {
-				rowMin = cur[j]
-			}
-		}
-		// Every continuation goes through this row; if its minimum already
-		// exceeds the cap, the final value must too.
-		if rowMin >= cap {
-			return math.Inf(1), false
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1], true
 }
 
 type nbrHeap []Neighbor

@@ -129,6 +129,9 @@ func TestNearestEdgeCases(t *testing.T) {
 	}
 }
 
+// TestDFDCapped pins the kernel contract the search relies on, now served
+// by dist.DFDCapped: exceeded == false means the value is exact, and an
+// abandoned computation returns a lower bound at or above the cap.
 func TestDFDCapped(t *testing.T) {
 	r := rand.New(rand.NewSource(84))
 	for trial := 0; trial < 100; trial++ {
@@ -137,21 +140,24 @@ func TestDFDCapped(t *testing.T) {
 		exact := dist.DFD(a.Points, b.Points, geo.Euclidean)
 
 		// Uncapped must match exactly.
-		d, ok := dfdCapped(a.Points, b.Points, geo.Euclidean, math.Inf(1))
-		if !ok || math.Abs(d-exact) > 1e-9 {
-			t.Fatalf("uncapped: %g (ok=%v), want %g", d, ok, exact)
+		d, exceeded := dist.DFDCapped(a.Points, b.Points, geo.Euclidean, math.Inf(1))
+		if exceeded || math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("uncapped: %g (exceeded=%v), want %g", d, exceeded, exact)
 		}
 		// Generous cap must also complete with the exact value.
-		d, ok = dfdCapped(a.Points, b.Points, geo.Euclidean, exact*2+1)
-		if !ok || math.Abs(d-exact) > 1e-9 {
-			t.Fatalf("generous cap: %g (ok=%v), want %g", d, ok, exact)
+		d, exceeded = dist.DFDCapped(a.Points, b.Points, geo.Euclidean, exact*2+1)
+		if exceeded || math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("generous cap: %g (exceeded=%v), want %g", d, exceeded, exact)
 		}
-		// A cap below the true distance may abandon, but must never
-		// report a wrong completed value.
-		if d, ok := dfdCapped(a.Points, b.Points, geo.Euclidean, exact/2); ok {
-			if math.Abs(d-exact) > 1e-9 {
-				t.Fatalf("tight cap completed with wrong value %g, want %g", d, exact)
+		// A cap below the true distance may abandon with a lower bound at
+		// or above the cap, but must never report a wrong completed value.
+		d, exceeded = dist.DFDCapped(a.Points, b.Points, geo.Euclidean, exact/2)
+		if exceeded {
+			if d > exact+1e-9 || d < exact/2 {
+				t.Fatalf("abandoned value %g outside [cap %g, exact %g]", d, exact/2, exact)
 			}
+		} else if math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("tight cap completed with wrong value %g, want %g", d, exact)
 		}
 	}
 }

@@ -154,6 +154,23 @@ func DFD(a, b []Point, df DistanceFunc) float64 {
 	return dist.DFD(a, b, ground(df))
 }
 
+// DFDCapped computes the DFD with early abandoning: it returns the exact
+// distance with exceeded == false, or stops as soon as it can prove the
+// distance is at least cap and returns a lower bound (itself >= cap) with
+// exceeded == true. A +Inf cap is exactly DFD. This is the kernel the
+// motif searchers and k-NN use to kill hopeless candidates after a few DP
+// rows.
+func DFDCapped(a, b []Point, df DistanceFunc, cap float64) (d float64, exceeded bool) {
+	return dist.DFDCapped(a, b, ground(df), cap)
+}
+
+// DFDDecision decides DFD(a, b) <= eps without computing the distance,
+// abandoning as soon as no coupling within eps can continue. For finite
+// eps it agrees exactly with DFD(a, b, df) <= eps.
+func DFDDecision(a, b []Point, df DistanceFunc, eps float64) bool {
+	return dist.DFDDecision(a, b, ground(df), eps)
+}
+
 // DTW returns the dynamic time warping distance between two point
 // sequences under df (nil selects Haversine). It is provided for
 // comparison; unlike DFD it is inflated by oversampled segments (the
