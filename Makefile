@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench fmt vet race fuzz
+.PHONY: build test bench bench-smoke fmt vet race fuzz
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# One iteration of every benchmark in every package — catches bit-rot in
+# bench-only code paths (including the parallel workers=N variants)
+# without paying for a statistically meaningful run.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 fmt:
 	gofmt -l -w .

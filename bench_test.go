@@ -7,7 +7,9 @@ package trajmotif
 // fixed representative size so regressions surface in `go test -bench`.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"trajmotif/internal/bounds"
@@ -465,6 +467,47 @@ func BenchmarkAblationEarlyAbandon(b *testing.B) {
 			return res
 		})
 	})
+}
+
+// BenchmarkParallelBTM measures the block-synchronous parallel subset
+// sweep at a size where the search dominates (n >= 1000): workers = 1
+// against the full machine. Results — including pruning counters — are
+// byte-identical across the two runs (TestParallelDeterminism); only
+// wall-clock changes.
+func BenchmarkParallelBTM(b *testing.B) {
+	t, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: 42, N: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.BTM(t, 20, &core.Options{Workers: w})
+				sink(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGTM is the GTM counterpart: grid build, level scans,
+// group-pair interval DFDs and the point-level sweep all shard across
+// the same worker pool.
+func BenchmarkParallelGTM(b *testing.B) {
+	t, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: 42, N: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := group.GTM(t, 20, 32, &core.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink(b, &res.Result, nil)
+			}
+		})
+	}
 }
 
 // BenchmarkKernelCapped measures the fused capped kernel against the

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	motifbench [-exp all|T1|F2|F3|F4|T3|F13..F21] [-scale small|full]
-//	           [-seed N] [-brute-budget 15s] [-list]
+//	           [-seed N] [-brute-budget 15s] [-workers N] [-list]
 //
 // Every timing experiment cross-checks that all algorithms return the same
 // optimal motif distance, so a full run doubles as an end-to-end exactness
@@ -26,6 +26,7 @@ func main() {
 	scale := flag.String("scale", "small", "experiment sizing: 'small' (minutes) or 'full' (paper sizes, hours)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	budget := flag.Duration("brute-budget", 15*time.Second, "per-run BruteDP budget before truncation")
+	workers := flag.Int("workers", 0, "parallel workers within each timed search; 0 = GOMAXPROCS (results are identical for any count)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		Scale:       bench.Scale(*scale),
 		Seed:        *seed,
 		BruteBudget: *budget,
+		Workers:     *workers,
 	}
 	if cfg.Scale != bench.ScaleSmall && cfg.Scale != bench.ScaleFull {
 		fmt.Fprintf(os.Stderr, "motifbench: unknown scale %q\n", *scale)

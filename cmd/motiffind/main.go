@@ -7,6 +7,7 @@
 //	motiffind -xi 100 walk.plt
 //	motiffind -xi 100 -algo btm day1.csv day2.csv
 //	motiffind -xi 50 -algo gtmstar -tau 64 -stats big.plt
+//	motiffind -xi 100 -workers 8 big.plt   # shard the search over 8 cores
 //
 // Input files may be GeoLife .plt or CSV ("lat,lng[,unix]").
 package main
@@ -27,6 +28,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print search statistics")
 	topk := flag.Int("k", 1, "report the k best mutually disjoint motifs (single trajectory, k>1 uses the BTM engine)")
 	epsilon := flag.Float64("epsilon", 0, "approximation slack: result within (1+ε) of optimal; 0 is exact")
+	workers := flag.Int("workers", 0, "parallel workers within the search; 0 = GOMAXPROCS (results are identical for any count)")
 	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &trajmotif.Options{Epsilon: *epsilon}
+	opt := &trajmotif.Options{Epsilon: *epsilon, Workers: *workers}
 
 	if *topk > 1 {
 		var results []trajmotif.Result
@@ -68,15 +70,15 @@ func main() {
 	switch *algo {
 	case "brutedp":
 		if u == nil {
-			res, err = trajmotif.BruteDP(t, *xi, nil)
+			res, err = trajmotif.BruteDP(t, *xi, opt)
 		} else {
-			res, err = trajmotif.BruteDPBetween(t, u, *xi, nil)
+			res, err = trajmotif.BruteDPBetween(t, u, *xi, opt)
 		}
 	case "btm":
 		if u == nil {
-			res, err = trajmotif.BTM(t, *xi, nil)
+			res, err = trajmotif.BTM(t, *xi, opt)
 		} else {
-			res, err = trajmotif.BTMBetween(t, u, *xi, nil)
+			res, err = trajmotif.BTMBetween(t, u, *xi, opt)
 		}
 	case "gtm", "gtmstar":
 		var gr *trajmotif.GroupResult

@@ -18,8 +18,11 @@ func ExampleDiscover() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// This workload has two bit-exact-tied witnesses; the search reports
+	// the one earliest in the canonical (LB, start-cell) feed order, for
+	// every worker count.
 	fmt.Printf("legs %v and %v, DFD %.1f m\n", res.A, res.B, res.Distance)
-	// Output: legs [37..78] and [753..796], DFD 10.9 m
+	// Output: legs [30..71] and [748..790], DFD 10.9 m
 }
 
 // ExampleDFD computes the discrete Fréchet distance between two short

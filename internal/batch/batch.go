@@ -1,9 +1,16 @@
 // Package batch runs motif discovery over collections of trajectories
-// with bounded concurrency. The paper's algorithms are single-threaded by
-// design (and benchmarked that way); fleets, troops and multi-day archives
-// are nevertheless embarrassingly parallel *across* trajectories, so this
-// package fans independent discoveries out over a worker pool while
-// keeping each individual search identical to the sequential one.
+// with bounded concurrency. Fleets, troops and multi-day archives are
+// embarrassingly parallel *across* trajectories, so this package fans
+// independent discoveries out over a worker pool; each individual search
+// returns results identical to the sequential one.
+//
+// Parallelism is split in two layers: Workers bounds across-trajectory
+// concurrency (this package's pool), and SearchWorkers bounds
+// within-search concurrency (internal/core's sharded subset sweep).
+// Inside a batch the within-search default is 1 — with many independent
+// trajectories the outer pool already saturates the cores and avoids
+// oversubscription — and should be raised only when the batch is smaller
+// than the machine (few trajectories, many cores).
 package batch
 
 import (
@@ -34,8 +41,12 @@ type Options struct {
 	// Tau is the GTM initial group size; 0 selects 32 (the paper's
 	// default).
 	Tau int
-	// Workers bounds concurrency; 0 selects GOMAXPROCS.
+	// Workers bounds across-trajectory concurrency; 0 selects GOMAXPROCS.
 	Workers int
+	// SearchWorkers bounds within-search concurrency for each individual
+	// discovery; 0 selects 1 (see the package comment on the split). It
+	// overrides Search.Workers unless that is set explicitly.
+	SearchWorkers int
 }
 
 func (o *Options) tau() int {
@@ -52,11 +63,22 @@ func (o *Options) workers() int {
 	return o.Workers
 }
 
+// search resolves the per-search options: a private copy of Search with
+// the within-search worker count pinned, so the zero Workers value does
+// not fall through to core's GOMAXPROCS default and oversubscribe the
+// batch pool.
 func (o *Options) search() *core.Options {
-	if o == nil {
-		return nil
+	var c core.Options
+	if o != nil && o.Search != nil {
+		c = *o.Search
 	}
-	return o.Search
+	if c.Workers <= 0 {
+		c.Workers = 1
+		if o != nil && o.SearchWorkers > 0 {
+			c.Workers = o.SearchWorkers
+		}
+	}
+	return &c
 }
 
 // Discover runs GTM motif discovery on every trajectory, fanning the

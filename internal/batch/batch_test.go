@@ -129,11 +129,19 @@ func TestOptionDefaults(t *testing.T) {
 	if o.workers() < 1 {
 		t.Errorf("nil options workers = %d", o.workers())
 	}
-	if o.search() != nil {
-		t.Error("nil options search should be nil")
+	if s := o.search(); s == nil || s.Workers != 1 {
+		t.Errorf("nil options search = %+v, want within-search workers pinned to 1", s)
 	}
 	o = &Options{Tau: 8, Workers: 3}
 	if o.tau() != 8 || o.workers() != 3 {
 		t.Error("explicit options ignored")
+	}
+	o = &Options{SearchWorkers: 2}
+	if s := o.search(); s.Workers != 2 {
+		t.Errorf("SearchWorkers not threaded: got %d", s.Workers)
+	}
+	o = &Options{SearchWorkers: 2, Search: &core.Options{Workers: 5}}
+	if s := o.search(); s.Workers != 5 {
+		t.Errorf("explicit Search.Workers should win: got %d", s.Workers)
 	}
 }

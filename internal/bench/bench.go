@@ -45,6 +45,20 @@ type Config struct {
 	// BruteBudget caps each BruteDP invocation; beyond it the harness
 	// reports "—", mirroring the paper's 2-hour truncation policy.
 	BruteBudget time.Duration
+	// Workers bounds within-search parallelism for every timed algorithm
+	// run; 0 selects GOMAXPROCS. Worker count never changes results or
+	// pruning counters, only wall-clock times.
+	Workers int
+}
+
+// opts stamps the run's worker count onto o (nil o starts from the zero
+// Options); every algorithm invocation in the harness routes through it.
+func (c Config) opts(o *core.Options) *core.Options {
+	if o == nil {
+		o = &core.Options{}
+	}
+	o.Workers = c.Workers
+	return o
 }
 
 // DefaultConfig returns the small-scale configuration.

@@ -27,13 +27,13 @@ func runFigure13(cfg Config, w io.Writer) error {
 		xi := cfg.xiFor(n)
 		t := dataset(datagen.GeoLifeName, n, cfg.Seed)
 		tightDur, tightRes, err := timed(func() (*core.Result, error) {
-			return core.BTM(t, xi, &core.Options{Bounds: core.BoundsTight})
+			return core.BTM(t, xi, cfg.opts(&core.Options{Bounds: core.BoundsTight}))
 		})
 		if err != nil {
 			return err
 		}
 		relDur, relRes, err := timed(func() (*core.Result, error) {
-			return core.BTM(t, xi, nil)
+			return core.BTM(t, xi, cfg.opts(nil))
 		})
 		if err != nil {
 			return err
@@ -62,13 +62,13 @@ func runFigure14(cfg Config, w io.Writer) error {
 	tbl := &Table{Columns: []string{"xi", "tight pruned", "relaxed pruned", "tight time", "relaxed time"}}
 	for _, xi := range xis {
 		tightDur, tightRes, err := timed(func() (*core.Result, error) {
-			return core.BTM(t, xi, &core.Options{Bounds: core.BoundsTight})
+			return core.BTM(t, xi, cfg.opts(&core.Options{Bounds: core.BoundsTight}))
 		})
 		if err != nil {
 			return err
 		}
 		relDur, relRes, err := timed(func() (*core.Result, error) {
-			return core.BTM(t, xi, nil)
+			return core.BTM(t, xi, cfg.opts(nil))
 		})
 		if err != nil {
 			return err
@@ -90,7 +90,7 @@ func runFigure14(cfg Config, w io.Writer) error {
 // exact DFD, varying n and ξ.
 func runFigure15(cfg Config, w io.Writer) error {
 	breakdown := func(t *traj.Trajectory, xi int) (*core.Result, error) {
-		return core.BTM(t, xi, &core.Options{CollectBreakdown: true})
+		return core.BTM(t, xi, cfg.opts(&core.Options{CollectBreakdown: true}))
 	}
 
 	fmt.Fprintln(w, "(a) varying trajectory length n:")
@@ -156,7 +156,7 @@ func runFigure16(cfg Config, w io.Writer) error {
 		dists := map[string]float64{}
 		for _, v := range variants {
 			dur, res, err := timed(func() (*core.Result, error) {
-				return core.BTM(t, xi, &core.Options{Bounds: v.set})
+				return core.BTM(t, xi, cfg.opts(&core.Options{Bounds: v.set}))
 			})
 			if err != nil {
 				return err
@@ -180,7 +180,7 @@ func runFigure16(cfg Config, w io.Writer) error {
 		dists := map[string]float64{}
 		for _, v := range variants {
 			dur, res, err := timed(func() (*core.Result, error) {
-				return core.BTM(t, xi, &core.Options{Bounds: v.set})
+				return core.BTM(t, xi, cfg.opts(&core.Options{Bounds: v.set}))
 			})
 			if err != nil {
 				return err

@@ -26,7 +26,7 @@ func runFigure17(cfg Config, w io.Writer) error {
 		dists := map[string]float64{}
 		for _, tau := range taus {
 			dur, res, err := timedGroup(func() (*group.Result, error) {
-				return group.GTM(t, xi, tau, nil)
+				return group.GTM(t, xi, tau, cfg.opts(nil))
 			})
 			if err != nil {
 				return err
@@ -51,7 +51,7 @@ type methodRunner struct {
 	pair func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error)
 }
 
-func methods() []methodRunner {
+func methods(cfg Config) []methodRunner {
 	wrap := func(r *core.Result, err error) (*core.Result, core.Stats, error) {
 		if err != nil {
 			return nil, core.Stats{}, err
@@ -68,37 +68,37 @@ func methods() []methodRunner {
 		{
 			name: "BruteDP",
 			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrap(core.BruteDP(t, xi, nil))
+				return wrap(core.BruteDP(t, xi, cfg.opts(nil)))
 			},
 			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrap(core.BruteDPCross(t, u, xi, nil))
+				return wrap(core.BruteDPCross(t, u, xi, cfg.opts(nil)))
 			},
 		},
 		{
 			name: "BTM",
 			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrap(core.BTM(t, xi, nil))
+				return wrap(core.BTM(t, xi, cfg.opts(nil)))
 			},
 			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrap(core.BTMCross(t, u, xi, nil))
+				return wrap(core.BTMCross(t, u, xi, cfg.opts(nil)))
 			},
 		},
 		{
 			name: "GTM",
 			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrapG(group.GTM(t, xi, defaultTau, nil))
+				return wrapG(group.GTM(t, xi, defaultTau, cfg.opts(nil)))
 			},
 			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrapG(group.GTMCross(t, u, xi, defaultTau, nil))
+				return wrapG(group.GTMCross(t, u, xi, defaultTau, cfg.opts(nil)))
 			},
 		},
 		{
 			name: "GTM*",
 			self: func(t *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrapG(group.GTMStar(t, xi, defaultTau, nil))
+				return wrapG(group.GTMStar(t, xi, defaultTau, cfg.opts(nil)))
 			},
 			pair: func(t, u *traj.Trajectory, xi int) (*core.Result, core.Stats, error) {
-				return wrapG(group.GTMStarCross(t, u, xi, defaultTau, nil))
+				return wrapG(group.GTMStarCross(t, u, xi, defaultTau, cfg.opts(nil)))
 			},
 		},
 	}
@@ -119,7 +119,7 @@ func runFigure18(cfg Config, w io.Writer) error {
 			row := []string{fmt.Sprint(n), fmt.Sprint(xi)}
 			dists := map[string]float64{}
 			var motif float64
-			for _, m := range methods() {
+			for _, m := range methods(cfg) {
 				if m.name == "BruteDP" && !bruteAllowed {
 					row = append(row, "— (budget)")
 					continue
@@ -158,15 +158,15 @@ func runFigure19(cfg Config, w io.Writer) error {
 		for _, n := range cfg.lengths() {
 			xi := cfg.xiFor(n)
 			t := dataset(name, n, cfg.Seed)
-			btmRes, err := core.BTM(t, xi, nil)
+			btmRes, err := core.BTM(t, xi, cfg.opts(nil))
 			if err != nil {
 				return err
 			}
-			gtmRes, err := group.GTM(t, xi, defaultTau, nil)
+			gtmRes, err := group.GTM(t, xi, defaultTau, cfg.opts(nil))
 			if err != nil {
 				return err
 			}
-			starRes, err := group.GTMStar(t, xi, defaultTau, nil)
+			starRes, err := group.GTMStar(t, xi, defaultTau, cfg.opts(nil))
 			if err != nil {
 				return err
 			}
@@ -191,7 +191,7 @@ func runFigure20(cfg Config, w io.Writer) error {
 		for _, xi := range xis {
 			row := []string{fmt.Sprint(xi)}
 			dists := map[string]float64{}
-			for _, m := range methods()[1:] { // skip BruteDP
+			for _, m := range methods(cfg)[1:] { // skip BruteDP
 				start := time.Now()
 				res, _, err := m.self(t, xi)
 				dur := time.Since(start)
@@ -224,7 +224,7 @@ func runFigure21(cfg Config, w io.Writer) error {
 			row := []string{fmt.Sprint(n), fmt.Sprint(xi)}
 			dists := map[string]float64{}
 			var motif float64
-			for _, m := range methods()[1:] {
+			for _, m := range methods(cfg)[1:] {
 				start := time.Now()
 				res, _, err := m.pair(a, b, xi)
 				dur := time.Since(start)

@@ -153,7 +153,7 @@ func runFigure2(cfg Config, w io.Writer) error {
 	xi := n / 25
 
 	// DFD motif via GTM.
-	res, err := group.GTM(t, xi, 16, nil)
+	res, err := group.GTM(t, xi, 16, cfg.opts(nil))
 	if err != nil {
 		return err
 	}

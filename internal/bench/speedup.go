@@ -31,13 +31,13 @@ func runSpeedup(cfg Config, w io.Writer) error {
 			xi := cfg.xiFor(n)
 			t := dataset(name, n, cfg.Seed)
 			bruteDur, bruteRes, err := timed(func() (*core.Result, error) {
-				return core.BruteDP(t, xi, nil)
+				return core.BruteDP(t, xi, cfg.opts(nil))
 			})
 			if err != nil {
 				return err
 			}
 			gtmStart := time.Now()
-			gtmRes, err := group.GTM(t, xi, defaultTau, nil)
+			gtmRes, err := group.GTM(t, xi, defaultTau, cfg.opts(nil))
 			if err != nil {
 				return err
 			}

@@ -12,17 +12,23 @@
 // of a candidate subset CS_{i,j} (same start cell) share one dynamic
 // program: dF[ie][je] = max(dG(ie,je), min of the three predecessors),
 // swept once per subset with two rolling rows (O(n) working space).
+//
+// The search is parallel within a single discovery: the Searcher is a
+// shared context (best-so-far bound with its witness, ε state, exclude
+// predicate, merged statistics) coordinating per-worker sweep engines
+// that drain one subset feed block-synchronously. Results and effort
+// counters are byte-identical for every worker count; see engine.go for
+// the determinism argument and Options.Workers for the knob.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 	"time"
 
 	"trajmotif/internal/bounds"
-	"trajmotif/internal/dist"
 	"trajmotif/internal/dmatrix"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
@@ -86,6 +92,13 @@ type Options struct {
 	// lower bound reaches bsf/(1+ε), so the returned distance is at most
 	// (1+ε) times the optimum. Zero keeps the search exact.
 	Epsilon float64
+	// Workers bounds within-search parallelism: the candidate-subset feed
+	// is sharded across this many sweep engines draining one shared
+	// best-so-far bound (see engine.go). Zero selects GOMAXPROCS; results
+	// — including effort counters — are byte-identical for every worker
+	// count. A custom Dist must be safe for concurrent use when more than
+	// one worker runs.
+	Workers int
 }
 
 func (o *Options) dist() geo.DistanceFunc {
@@ -109,6 +122,10 @@ type Stats struct {
 	SubsetsAbandoned int64
 	// DPCells is the number of dynamic-programming cells expanded.
 	DPCells int64
+	// GridRebuildsAvoided counts ground-distance grid (and bound-array)
+	// constructions skipped by reuse — top-k rounds after the first share
+	// the first round's grid instead of recomputing it.
+	GridRebuildsAvoided int64
 
 	// Pruning attribution (filled when Options.CollectBreakdown is set):
 	// each pruned subset is credited to the first bound that disqualifies
@@ -191,11 +208,14 @@ func (p problem) ieMax(j int) int {
 	return p.n - 1
 }
 
-// Searcher runs candidate-subset dynamic programs while maintaining the
-// best-so-far motif (bsf). It is shared by BTM (which feeds it every
-// feasible subset in LB order) and by GTM/GTM* (which feed it only the
-// subsets surviving group-level pruning, with a bsf possibly pre-tightened
-// by group upper bounds).
+// Searcher is the shared search context: it owns the problem geometry,
+// the best-so-far motif bound (bsf) with its witness, the ε state, the
+// exclude predicate, and the merged statistics, and it coordinates a pool
+// of per-worker sweep engines (engine.go) that run the candidate-subset
+// dynamic programs. It is shared by BTM (which feeds it every feasible
+// subset in LB order) and by GTM/GTM* (which feed it only the subsets
+// surviving group-level pruning, with a bsf possibly pre-tightened by
+// group upper bounds).
 type Searcher struct {
 	p  problem
 	rb *bounds.Relaxed // nil disables end-cross capping (BruteDP)
@@ -208,6 +228,12 @@ type Searcher struct {
 	// LB == bsf must still be expanded, or the motif would be lost.
 	bestKnown bool
 	best      Result
+	// bestPos is the feed position of the witnessing subset, the
+	// tie-breaking component of the canonical witness order (engine.go).
+	bestPos int64
+	// seq numbers consumed feed positions across ProcessList/ProcessSubset
+	// calls so canonical positions stay globally ordered.
+	seq int64
 
 	endCross bool
 	// earlyAbandon stops a subset's DP once a completed row's minimum —
@@ -225,12 +251,16 @@ type Searcher struct {
 	// used by top-k discovery to mask already-reported motifs.
 	exclude func(a, b traj.Span) bool
 
-	// reusable DP rows, indexed by je - j.
-	prev, cur []float64
+	// workers is the sweep-engine pool size; engines are created lazily
+	// and persist across blocks so DP scratch allocates once per worker.
+	workers     int
+	engines     []*engine
+	survScratch []int
 }
 
 // NewSearcher builds a search engine over grid g. rb may be nil to forgo
 // end-cross capping. For the single-trajectory problem, pass self=true.
+// The searcher starts single-worker; see SetWorkers.
 func NewSearcher(g dmatrix.Grid, xi int, self bool, rb *bounds.Relaxed, endCross bool) *Searcher {
 	n, m := g.Dims()
 	return &Searcher{
@@ -240,10 +270,26 @@ func NewSearcher(g dmatrix.Grid, xi int, self bool, rb *bounds.Relaxed, endCross
 		endCross:     endCross && rb != nil,
 		earlyAbandon: true,
 		approxFactor: 1,
-		prev:         make([]float64, m),
-		cur:          make([]float64, m),
+		workers:      1,
 	}
 }
+
+// ResolveWorkers maps the Options.Workers convention to a concrete pool
+// size: non-positive selects GOMAXPROCS.
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// SetWorkers sizes the sweep-engine pool (non-positive selects
+// GOMAXPROCS). The worker count never changes results or effort counters
+// — see engine.go on determinism — only wall-clock time.
+func (s *Searcher) SetWorkers(w int) { s.workers = ResolveWorkers(w) }
+
+// Workers returns the resolved sweep-engine pool size.
+func (s *Searcher) Workers() int { return s.workers }
 
 // SetEarlyAbandon toggles the kernel-level early abandoning of subset DPs
 // against the best-so-far bound. It is on by default; disabling it only
@@ -264,6 +310,13 @@ func (s *Searcher) SetEpsilon(eps float64) {
 // to clear.
 func (s *Searcher) SetExclude(f func(a, b traj.Span) bool) { s.exclude = f }
 
+// Snapshot freezes the current shared bound for a block of work; all
+// pruning within the block consults the snapshot so the block's outcome
+// is schedule-free.
+func (s *Searcher) Snapshot() Snapshot {
+	return Snapshot{bsf: s.bsf, known: s.bestKnown, approxFactor: s.approxFactor}
+}
+
 // Bsf returns the current best-so-far distance.
 func (s *Searcher) Bsf() float64 { return s.bsf }
 
@@ -277,20 +330,6 @@ func (s *Searcher) TightenBsf(ub float64) {
 	}
 }
 
-// abandonable reports whether a DP row minimum proves that no remaining
-// cell of the current subset can change the search outcome. It mirrors
-// the candidate-acceptance predicate exactly — every later cell is at
-// least rowMin, so none can pass `v < bsf` (or `v <= bsf` while the best
-// is unwitnessed) — and deliberately does not apply Prunable's (1+ε)
-// relaxation: early abandoning is a pure work-saver and must never change
-// results, even in approximate mode.
-func (s *Searcher) abandonable(rowMin float64) bool {
-	if s.bestKnown {
-		return rowMin >= s.bsf
-	}
-	return rowMin > s.bsf
-}
-
 // Prunable reports whether a candidate set with lower bound lb can be
 // skipped without losing the motif (or, with ε-approximation enabled,
 // without losing the (1+ε) guarantee). The relaxation applies only once a
@@ -300,87 +339,23 @@ func (s *Searcher) abandonable(rowMin float64) bool {
 // strictly-worse subsets are pruned. Loosening pruning can only process
 // more subsets, so the (1+ε) guarantee is unaffected.
 func (s *Searcher) Prunable(lb float64) bool {
-	if !s.bestKnown {
-		return lb > s.bsf
-	}
-	threshold := s.bsf
-	if s.approxFactor > 1 && !math.IsInf(threshold, 1) {
-		threshold /= s.approxFactor
-	}
-	return lb >= threshold
+	return prunable(lb, s.bsf, s.bestKnown, s.approxFactor)
 }
 
 // ProcessSubset expands candidate subset CS_{i,j}: one dynamic program
 // over all end cells (ie, je), updating bsf whenever a feasible candidate
 // improves it. This is the shared-DP insight of Algorithm 1 lines 4-13 and
-// Algorithm 2 lines 6-11, with the end-cross cap of lines 12-13 applied
-// per subset (see DESIGN.md §1.2). The recurrence itself is the canonical
-// kernel's row primitives (dist.DFDBoundaryRow / dist.DFDRelaxRow); this
-// method contributes the candidate accounting and two subset-level cuts:
-//
-//   - end-cross cap: every candidate ending at a row beyond je must cross
-//     row je+1, so its DFD is at least Rmin[je]; once that disqualifies,
-//     the row horizon shrinks (relaxed Eq. 9/13; Alg. 2 lines 12-13);
-//   - early abandoning: the kernel row minimum lower-bounds every cell of
-//     all later rows, so once it is prunable against bsf the whole rest of
-//     the subset's DP is skipped.
+// Algorithm 2 lines 6-11, run on a single sweep engine with the live
+// shared bound as its snapshot and merged immediately — exactly the
+// sequential semantics. Drivers with a whole feed of subsets should use
+// ProcessList, which shards the feed across the worker pool.
 func (s *Searcher) ProcessSubset(i, j int) {
-	p := &s.p
-	ieHi := p.ieMax(j)
-	jmax := p.m - 1
-	s.stats.SubsetsProcessed++
-
-	// Boundary row (ie = i): dF[i][je] is the running max of dG(i, j..je),
-	// the DFD of the single-point prefix against the growing second leg.
-	dist.DFDBoundaryRow(p.g, i, j, jmax, s.prev)
-
-	// colMax tracks the boundary column dF[ie][j] = max dG(i..ie, j).
-	colMax := s.prev[0]
-	cells := int64(0)
-	for ie := i + 1; ie <= ieHi; ie++ {
-		// End-cross cap, re-evaluated per row as bsf tightens.
-		if s.endCross {
-			for je := j; je < jmax; je++ {
-				if s.Prunable(s.rb.EndRowMin(je)) {
-					jmax = je
-					break
-				}
-			}
-		}
-
-		if d := p.g.At(ie, j); d > colMax {
-			colMax = d
-		}
-		s.cur[0] = colMax
-		rowMin := dist.DFDRelaxRow(p.g, ie, j, jmax, s.prev, s.cur)
-		cells += int64(jmax-j) + 1
-
-		// Candidate scan: cells with both legs longer than ξ steps.
-		if ie >= i+p.xi+1 {
-			for je := j + p.xi + 1; je <= jmax; je++ {
-				v := s.cur[je-j]
-				if v < s.bsf || (!s.bestKnown && v <= s.bsf) {
-					a := traj.Span{Start: i, End: ie}
-					b := traj.Span{Start: j, End: je}
-					if s.exclude == nil || !s.exclude(a, b) {
-						s.bsf = v
-						s.bestKnown = true
-						s.best.A, s.best.B = a, b
-						s.best.Distance = v
-					}
-				}
-			}
-		}
-
-		if s.earlyAbandon && s.abandonable(rowMin) {
-			if ie < ieHi {
-				s.stats.SubsetsAbandoned++
-			}
-			break
-		}
-		s.prev, s.cur = s.cur, s.prev
-	}
-	s.stats.DPCells += cells
+	e := s.engineFor(0)
+	e.reset(s, s.Snapshot())
+	e.processSubset(s.seq, i, j)
+	s.seq++
+	s.mergeWitness(e.best)
+	s.stats.mergeEffort(&e.stats)
 }
 
 // result finalizes the Result, verifying a witness exists.
@@ -428,38 +403,41 @@ func bruteDP(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error)
 	if xi < 0 {
 		return nil, fmt.Errorf("core: negative minimum motif length %d", xi)
 	}
+	workers := ResolveWorkers(optWorkers(opt))
 	start := time.Now()
 	var g *dmatrix.Matrix
 	if self {
-		g = dmatrix.ComputeSelf(a, opt.dist())
+		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
 	} else {
-		g = dmatrix.ComputeCross(a, b, opt.dist())
+		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
 	}
 	s := NewSearcher(g, xi, self, nil, false)
+	s.SetWorkers(workers)
 	s.SetEarlyAbandon(opt == nil || !opt.DisableEarlyAbandon)
 	if !s.p.feasible() {
 		return nil, ErrTooShort
 	}
 	s.stats.N, s.stats.M, s.stats.Xi = s.p.n, s.p.m, xi
-	s.stats.PeakBytes = g.Bytes()
+
+	// Algorithm 1 has no bounds: feed every feasible subset with a
+	// never-prunable LB, in start-cell order.
+	neverPrune := math.Inf(-1)
+	list := s.BuildEntries(func(i, j int) float64 { return neverPrune }, workers)
+	s.stats.Subsets = int64(len(list))
+	s.stats.PeakBytes = g.Bytes() + int64(len(list))*16
 	s.stats.Precompute = time.Since(start)
 
 	searchStart := time.Now()
-	for i := 0; i <= s.p.iMax(); i++ {
-		lo, hi := s.p.jRange(i)
-		for j := lo; j <= hi; j++ {
-			s.stats.Subsets++
-			s.ProcessSubset(i, j)
-		}
-	}
+	s.ProcessList(list, false)
 	s.stats.Search = time.Since(searchStart)
 	return s.result()
 }
 
-// entry is one candidate subset with its combined lower bound.
-type entry struct {
-	lb   float64
-	i, j int32
+func optWorkers(opt *Options) int {
+	if opt == nil {
+		return 0
+	}
+	return opt.Workers
 }
 
 // BTM is Algorithm 2: compute lower bounds for every candidate subset,
@@ -481,12 +459,13 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	workers := ResolveWorkers(opt.Workers)
 	start := time.Now()
 	var g *dmatrix.Matrix
 	if self {
-		g = dmatrix.ComputeSelf(a, opt.dist())
+		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
 	} else {
-		g = dmatrix.ComputeCross(a, b, opt.dist())
+		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
 	}
 
 	// Relaxed arrays are always built: even in tight mode they back the
@@ -498,6 +477,7 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 	}
 
 	s := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
+	s.SetWorkers(workers)
 	s.SetEpsilon(opt.Epsilon)
 	s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 	if !s.p.feasible() {
@@ -519,31 +499,18 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 		}
 	}
 
-	// Build the candidate-subset list (Alg. 2 line 3).
-	var list []entry
-	for i := 0; i <= s.p.iMax(); i++ {
-		lo, hi := s.p.jRange(i)
-		for j := lo; j <= hi; j++ {
-			list = append(list, entry{lb: subsetLB(i, j), i: int32(i), j: int32(j)})
-		}
-	}
+	// Build the candidate-subset list (Alg. 2 line 3) and order it
+	// canonically — both sharded across the workers.
+	list := s.BuildEntries(subsetLB, workers)
 	s.stats.Subsets = int64(len(list))
 	if !opt.Unsorted {
-		sort.Slice(list, func(x, y int) bool { return list[x].lb < list[y].lb })
+		SortEntries(list, workers)
 	}
 	s.stats.PeakBytes = g.Bytes() + rb.Bytes() + int64(len(list))*16
 	s.stats.Precompute = time.Since(start)
 
 	searchStart := time.Now()
-	for _, e := range list {
-		if s.Prunable(e.lb) {
-			if opt.Unsorted {
-				continue // later entries may still qualify
-			}
-			break // sorted: every remaining bound is at least as large
-		}
-		s.ProcessSubset(int(e.i), int(e.j))
-	}
+	s.ProcessList(list, !opt.Unsorted)
 	s.stats.Search = time.Since(searchStart)
 
 	if opt.CollectBreakdown {

@@ -16,7 +16,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"trajmotif/internal/bounds"
@@ -49,12 +48,13 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 		opt = &Options{}
 	}
 
+	workers := ResolveWorkers(opt.Workers)
 	start := time.Now()
 	var g *dmatrix.Matrix
 	if self {
-		g = dmatrix.ComputeSelf(a, opt.dist())
+		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
 	} else {
-		g = dmatrix.ComputeCross(a, b, opt.dist())
+		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
 	}
 	rb := bounds.NewRelaxed(g, bounds.PointParams(xi, self))
 	probe := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
@@ -63,19 +63,14 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 	}
 	precompute := time.Since(start)
 
-	// The candidate-subset list with bounds is shared across rounds.
-	type entry struct {
-		lb   float64
-		i, j int32
-	}
-	var list []entry
-	for i := 0; i <= probe.IMax(); i++ {
-		lo, hi := probe.JRange(i)
-		for j := lo; j <= hi; j++ {
-			list = append(list, entry{lb: rb.SubsetLB(g.At(i, j), i, j), i: int32(i), j: int32(j)})
-		}
-	}
-	sort.Slice(list, func(x, y int) bool { return list[x].lb < list[y].lb })
+	// The grid, bound arrays and candidate-subset list are built once and
+	// shared across all k rounds; rounds after the first pay only the
+	// (heavily pruned) search. Stats.GridRebuildsAvoided accounts the
+	// constructions this reuse skips.
+	list := probe.BuildEntries(func(i, j int) float64 {
+		return rb.SubsetLB(g.At(i, j), i, j)
+	}, workers)
+	SortEntries(list, workers)
 
 	var found []Result
 	overlapsAny := func(sp traj.Span, legs []traj.Span) bool {
@@ -90,6 +85,7 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 
 	for round := 0; round < k; round++ {
 		s := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
+		s.SetWorkers(workers)
 		s.SetEpsilon(opt.Epsilon)
 		s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 		s.SetExclude(func(pa, pb traj.Span) bool {
@@ -103,12 +99,7 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 		// can still host candidates ending elsewhere only if its legs
 		// escape the region — the exclusion filter decides per candidate,
 		// so subsets are only skipped by the distance bounds.
-		for _, e := range list {
-			if s.Prunable(e.lb) {
-				break
-			}
-			s.ProcessSubset(int(e.i), int(e.j))
-		}
+		s.ProcessList(list, true)
 		res, err := s.Result()
 		if err != nil {
 			break // no disjoint candidate remains
@@ -116,6 +107,8 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 		res.Stats.N, res.Stats.M, res.Stats.Xi = len(a), len(b), xi
 		res.Stats.Precompute = precompute
 		precompute = 0 // charged to the first round only
+		// Rounds after the first reuse the round-1 grid and bound arrays.
+		res.Stats.GridRebuildsAvoided = int64(round)
 		found = append(found, *res)
 		legsA = append(legsA, res.A)
 		legsB = append(legsB, res.B)

@@ -7,7 +7,11 @@
 // same Grid interface to achieve its O(n) space bound (§5.5, Idea i).
 package dmatrix
 
-import "trajmotif/internal/geo"
+import (
+	"sync"
+
+	"trajmotif/internal/geo"
+)
 
 // Grid is read-only access to ground distances between two point
 // sequences. Dims returns (n, m): At accepts 0 <= i < n, 0 <= j < m.
@@ -24,29 +28,77 @@ type Matrix struct {
 
 // ComputeCross materializes the grid between two trajectories' points.
 func ComputeCross(a, b []geo.Point, df geo.DistanceFunc) *Matrix {
+	return ComputeCrossParallel(a, b, df, 1)
+}
+
+// ComputeCrossParallel is ComputeCross with the row fill sharded across
+// workers. Each cell is an independent df evaluation, so the result is
+// bit-identical for every worker count; df must be safe for concurrent
+// use when workers > 1.
+func ComputeCrossParallel(a, b []geo.Point, df geo.DistanceFunc, workers int) *Matrix {
 	m := &Matrix{n: len(a), m: len(b), vals: make([]float64, len(a)*len(b))}
-	for i, pa := range a {
+	fillRows(workers, len(a), func(i int) {
+		pa := a[i]
 		row := m.vals[i*m.m : (i+1)*m.m]
 		for j, pb := range b {
 			row[j] = df(pa, pb)
 		}
-	}
+	})
 	return m
 }
 
 // ComputeSelf materializes the symmetric grid of a single trajectory,
 // computing each unordered pair once.
 func ComputeSelf(pts []geo.Point, df geo.DistanceFunc) *Matrix {
+	return ComputeSelfParallel(pts, df, 1)
+}
+
+// ComputeSelfParallel is ComputeSelf sharded across workers: the strict
+// upper triangle is filled row-parallel (disjoint writes), then mirrored
+// row-parallel after a barrier. Bit-identical for every worker count.
+func ComputeSelfParallel(pts []geo.Point, df geo.DistanceFunc, workers int) *Matrix {
 	n := len(pts)
 	m := &Matrix{n: n, m: n, vals: make([]float64, n*n)}
-	for i := 0; i < n; i++ {
+	fillRows(workers, n, func(i int) {
+		row := m.vals[i*n : (i+1)*n]
 		for j := i + 1; j < n; j++ {
-			d := df(pts[i], pts[j])
-			m.vals[i*n+j] = d
-			m.vals[j*n+i] = d
+			row[j] = df(pts[i], pts[j])
 		}
-	}
+	})
+	fillRows(workers, n, func(i int) {
+		row := m.vals[i*n : (i+1)*n]
+		for j := 0; j < i; j++ {
+			row[j] = m.vals[j*n+i]
+		}
+	})
 	return m
+}
+
+// fillRows runs fn(i) for every row 0 <= i < n, fanning the rows over a
+// bounded worker pool in contiguous chunks. fn must write only its own
+// row. workers <= 1 (or a trivial n) runs inline.
+func fillRows(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // FromRows builds a matrix from explicit row data; rows must be rectangular.

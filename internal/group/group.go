@@ -15,6 +15,13 @@
 // then finishes with the BTM search engine on the surviving candidate
 // subsets. GTM* performs a single grouping pass and computes ground
 // distances on the fly, bounding memory by O(max((n/τ)², n)).
+//
+// Both algorithms shard across core's worker pool (core.Options.Workers):
+// level scans split by group row, the interval-DFD bound evaluations fan
+// out per block of LB-sorted pairs with the tighten/prune bookkeeping
+// replayed in canonical order, and the final point-level sweep runs on
+// the block-synchronous core engine — so results and counters match the
+// sequential run bit-for-bit at any worker count.
 package group
 
 import (
@@ -44,6 +51,14 @@ type Level struct {
 // BuildLevel scans the grid once (O(n·m) distance evaluations) and folds
 // every cell into its group pair's min/max.
 func BuildLevel(g dmatrix.Grid, tau int) *Level {
+	return buildLevel(g, tau, 1)
+}
+
+// buildLevel is BuildLevel with the scan sharded by group row: each
+// worker owns a disjoint band of tau point rows, so the folds race on
+// nothing, and min/max folding makes the result bit-identical for every
+// worker count.
+func buildLevel(g dmatrix.Grid, tau, workers int) *Level {
 	n, m := g.Dims()
 	lv := &Level{
 		Tau: tau,
@@ -56,21 +71,23 @@ func BuildLevel(g dmatrix.Grid, tau int) *Level {
 		lv.dmin[k] = math.Inf(1)
 		lv.dmax[k] = math.Inf(-1)
 	}
-	for i := 0; i < n; i++ {
-		gi := i / tau
+	core.ParallelFor(workers, lv.NA, func(gi int) {
 		row := lv.dmin[gi*lv.NB : (gi+1)*lv.NB]
 		rowMax := lv.dmax[gi*lv.NB : (gi+1)*lv.NB]
-		for j := 0; j < m; j++ {
-			d := g.At(i, j)
-			gj := j / tau
-			if d < row[gj] {
-				row[gj] = d
-			}
-			if d > rowMax[gj] {
-				rowMax[gj] = d
+		iHi := min((gi+1)*tau, n)
+		for i := gi * tau; i < iHi; i++ {
+			for j := 0; j < m; j++ {
+				d := g.At(i, j)
+				gj := j / tau
+				if d < row[gj] {
+					row[gj] = d
+				}
+				if d > rowMax[gj] {
+					rowMax[gj] = d
+				}
 			}
 		}
-	}
+	})
 	return lv
 }
 
@@ -242,6 +259,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 		tau &= tau - 1
 	}
 
+	workers := core.ResolveWorkers(opt.Workers)
 	start := time.Now()
 	var grid dmatrix.Grid
 	var gridBytes int64
@@ -250,9 +268,9 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	} else {
 		var m *dmatrix.Matrix
 		if self {
-			m = dmatrix.ComputeSelf(a, df)
+			m = dmatrix.ComputeSelfParallel(a, df, workers)
 		} else {
-			m = dmatrix.ComputeCross(a, b, df)
+			m = dmatrix.ComputeCrossParallel(a, b, df, workers)
 		}
 		grid = m
 		gridBytes = m.Bytes()
@@ -260,6 +278,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 
 	rbPoint := bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
 	s := core.NewSearcher(grid, xi, self, rbPoint, !opt.DisableEndCross)
+	s.SetWorkers(workers)
 	s.SetEpsilon(opt.Epsilon)
 	s.SetEarlyAbandon(!opt.DisableEarlyAbandon)
 	if !s.Feasible() {
@@ -277,7 +296,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	firstLevel := true
 
 	for level := tau; level >= 2; level /= 2 {
-		lv := BuildLevel(grid, level)
+		lv := buildLevel(grid, level, workers)
 		grb := bounds.NewRelaxed(minGrid{lv}, bounds.GroupParams(xi, level, self))
 		st.PeakBytes += lv.Bytes() + grb.Bytes()
 		gst.Levels++
@@ -293,27 +312,18 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 			u, v := int(cand[k].u), int(cand[k].v)
 			cand[k].lb = grb.SubsetLB(lv.Dmin(u, v), u, v)
 		}
-		sort.Slice(cand, func(x, y int) bool { return cand[x].lb < cand[y].lb })
+		sort.Slice(cand, func(x, y int) bool {
+			if cand[x].lb != cand[y].lb {
+				return cand[x].lb < cand[y].lb
+			}
+			if cand[x].u != cand[y].u {
+				return cand[x].u < cand[y].u
+			}
+			return cand[x].v < cand[y].v
+		})
 
 		gst.GroupPairs += int64(len(cand))
-		next := survivors[:0]
-		for k, pr := range cand {
-			if s.Prunable(pr.lb) {
-				gst.GroupPairsPruned += int64(len(cand) - k)
-				break
-			}
-			glb, gub := lv.DFDBounds(int(pr.u), int(pr.v), xi, self, n, m)
-			if !math.IsInf(gub, 1) && gub < s.Bsf() {
-				s.TightenBsf(gub)
-				gst.BsfTightenings++
-			}
-			if s.Prunable(glb) {
-				gst.GroupPairsPruned++
-				continue
-			}
-			next = append(next, pair{u: pr.u, v: pr.v})
-		}
-		survivors = next
+		survivors = refineLevel(s, lv, cand, survivors[:0], &gst, xi, self, n, m)
 
 		if star {
 			break // GTM* executes the grouping loop once (§5.5, Idea iii)
@@ -322,8 +332,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 
 	// Expand surviving group pairs to point-level candidate subsets. When
 	// grouping never ran (tau == 1), fall back to every feasible cell.
-	type cell = pair
-	var cells []cell
+	var cells []core.Entry
 	lastTau := 2
 	if star {
 		lastTau = tau
@@ -333,7 +342,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 		for i := 0; i <= s.IMax(); i++ {
 			lo, hi := s.JRange(i)
 			for j := lo; j <= hi; j++ {
-				cells = append(cells, cell{lb: rbPoint.SubsetLB(grid.At(i, j), i, j), u: int32(i), v: int32(j)})
+				cells = append(cells, core.Entry{LB: rbPoint.SubsetLB(grid.At(i, j), i, j), I: int32(i), J: int32(j)})
 			}
 		}
 	} else {
@@ -346,24 +355,19 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 				jLo = max(jLo, int(pr.v)*lastTau)
 				jHi = min(jHi, (int(pr.v)+1)*lastTau-1)
 				for j := jLo; j <= jHi; j++ {
-					cells = append(cells, cell{lb: rbPoint.SubsetLB(grid.At(i, j), i, j), u: int32(i), v: int32(j)})
+					cells = append(cells, core.Entry{LB: rbPoint.SubsetLB(grid.At(i, j), i, j), I: int32(i), J: int32(j)})
 				}
 			}
 		}
 	}
-	sort.Slice(cells, func(x, y int) bool { return cells[x].lb < cells[y].lb })
+	core.SortEntries(cells, workers)
 	gst.PointCells = int64(len(cells))
 	st.Subsets = int64(len(cells))
 	st.PeakBytes += int64(len(cells)) * 16
 	st.Precompute = time.Since(start)
 
 	searchStart := time.Now()
-	for _, c := range cells {
-		if s.Prunable(c.lb) {
-			break
-		}
-		s.ProcessSubset(int(c.u), int(c.v))
-	}
+	s.ProcessList(cells, true)
 	st.Search = time.Since(searchStart)
 
 	res, err := s.Result()
@@ -372,6 +376,66 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	}
 	gst.Stats = res.Stats
 	return &Result{Result: *res, Group: gst}, nil
+}
+
+// pairBlock is the barrier interval of the group-pair feed. Like the
+// core engine's listBlock it must not depend on the worker count: block
+// boundaries define the deterministic snapshot sequence.
+const pairBlock = 64
+
+// refineLevel runs one grouping level's prune/refine pass over the
+// LB-sorted candidate pairs: interval-DFD bounds (GLB_DFD/GUB_DFD) for
+// every pair that survives its lower bound, GUB tightenings of bsf, and
+// the sorted stopping rule. The expensive part — DFDBounds, a pure
+// function of the pair — is fanned across the searcher's workers in
+// blocks; the bookkeeping (tighten, prune, survive, the Figure-15-style
+// counters) is then replayed sequentially in canonical order against the
+// live bound, so the outcome, including every counter, is exactly the
+// sequential algorithm's for any worker count.
+func refineLevel(s *core.Searcher, lv *Level, cand, next []pair, gst *Stats, xi int, self bool, n, m int) []pair {
+	type pairBounds struct{ glb, gub float64 }
+	workers := s.Workers()
+	for base := 0; base < len(cand); base += pairBlock {
+		hi := min(base+pairBlock, len(cand))
+		block := cand[base:hi]
+		snap := s.Snapshot()
+
+		// Speculatively evaluate the interval DFD for the block's
+		// lb-survivors under the frozen snapshot. The replay below prunes
+		// with the live (tighter or, in the ε corner after an unwitnessed
+		// GUB tightening, differently-relaxed) bound, so it may use fewer
+		// of these — or, rarely, need one the speculation skipped, which
+		// it then computes inline.
+		cut := sort.Search(len(block), func(k int) bool { return snap.Prunable(block[k].lb) })
+		bnds := make([]pairBounds, cut)
+		core.ParallelFor(workers, cut, func(k int) {
+			bnds[k].glb, bnds[k].gub = lv.DFDBounds(int(block[k].u), int(block[k].v), xi, self, n, m)
+		})
+
+		// Replay Algorithm 3's bookkeeping in canonical order.
+		for k, pr := range block {
+			if s.Prunable(pr.lb) {
+				gst.GroupPairsPruned += int64(len(cand) - (base + k))
+				return next
+			}
+			var glb, gub float64
+			if k < cut {
+				glb, gub = bnds[k].glb, bnds[k].gub
+			} else {
+				glb, gub = lv.DFDBounds(int(pr.u), int(pr.v), xi, self, n, m)
+			}
+			if !math.IsInf(gub, 1) && gub < s.Bsf() {
+				s.TightenBsf(gub)
+				gst.BsfTightenings++
+			}
+			if s.Prunable(glb) {
+				gst.GroupPairsPruned++
+				continue
+			}
+			next = append(next, pair{u: pr.u, v: pr.v})
+		}
+	}
+	return next
 }
 
 // enumerateFeasible lists every group pair that can contain a feasible

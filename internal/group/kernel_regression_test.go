@@ -7,7 +7,9 @@ package group
 // leaving results untouched.
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"trajmotif/internal/core"
@@ -155,6 +157,137 @@ func TestEarlyAbandonReducesDPCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	check("gtm", &gon.Result, &goff.Result, false)
+}
+
+// TestParallelDeterminism locks down the block-synchronous parallel
+// engine: for every algorithm (BruteDP, BTM under every BoundSet and
+// unsorted, GTM, GTM*), self and cross, with and without ε, runs at
+// workers = 2, 4, 8 must be byte-identical to workers = 1 — distance
+// bits, witness spans, AND every effort counter (only the wall-clock
+// durations are scrubbed before comparison). Any scheduling dependence
+// in pruning, abandoning, or witness merging fails loudly here.
+func TestParallelDeterminism(t *testing.T) {
+	tr := fixture(t, datagen.GeoLifeName, 200)
+	clipped := tr.Clip(120)
+	ca, cb, err := datagen.Pair(datagen.TruckName, datagen.Config{Seed: 7, N: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := 8
+
+	// scrub zeroes the timing fields so reflect.DeepEqual compares only
+	// deterministic content.
+	scrubCore := func(r *core.Result) *core.Result {
+		r.Stats.Precompute, r.Stats.Search = 0, 0
+		return r
+	}
+	scrubGroup := func(r *Result) *Result {
+		r.Stats.Precompute, r.Stats.Search = 0, 0
+		r.Group.Stats.Precompute, r.Group.Stats.Search = 0, 0
+		return r
+	}
+
+	cases := []struct {
+		name string
+		run  func(workers int) (any, error)
+	}{
+		{"brutedp/self", func(w int) (any, error) {
+			r, err := core.BruteDP(clipped, 6, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"brutedp/cross", func(w int) (any, error) {
+			r, err := core.BruteDPCross(ca, cb, 6, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"btm/unsorted", func(w int) (any, error) {
+			r, err := core.BTM(tr, xi, &core.Options{Workers: w, Unsorted: true})
+			return r, err
+		}},
+		{"btm/cross", func(w int) (any, error) {
+			r, err := core.BTMCross(ca, cb, 6, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"btm/eps0.4", func(w int) (any, error) {
+			r, err := core.BTM(tr, xi, &core.Options{Workers: w, Epsilon: 0.4})
+			return r, err
+		}},
+		{"gtm/tau16", func(w int) (any, error) {
+			r, err := GTM(tr, xi, 16, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"gtm/tau16/eps0.5", func(w int) (any, error) {
+			r, err := GTM(tr, xi, 16, &core.Options{Workers: w, Epsilon: 0.5})
+			return r, err
+		}},
+		{"gtmstar/tau16", func(w int) (any, error) {
+			r, err := GTMStar(tr, xi, 16, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"gtm/cross", func(w int) (any, error) {
+			r, err := GTMCross(ca, cb, 6, 8, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"gtmstar/cross/eps0.3", func(w int) (any, error) {
+			r, err := GTMStarCross(ca, cb, 6, 8, &core.Options{Workers: w, Epsilon: 0.3})
+			return r, err
+		}},
+		// TopK is the one parallel driver exercising the exclude
+		// predicate (rounds >= 2 mask prior witnesses) and the shared
+		// grid across rounds.
+		{"topk3/self", func(w int) (any, error) {
+			r, err := core.TopK(tr, xi, 3, &core.Options{Workers: w})
+			return r, err
+		}},
+		{"topk2/cross", func(w int) (any, error) {
+			r, err := core.TopKCross(ca, cb, 6, 2, &core.Options{Workers: w})
+			return r, err
+		}},
+	}
+	for _, bs := range []core.BoundSet{core.BoundsRelaxed, core.BoundsTight, core.BoundsCellOnly, core.BoundsCellCross} {
+		bs := bs
+		cases = append(cases, struct {
+			name string
+			run  func(workers int) (any, error)
+		}{fmt.Sprintf("btm/%v", bs), func(w int) (any, error) {
+			r, err := core.BTM(tr, xi, &core.Options{Workers: w, Bounds: bs})
+			return r, err
+		}})
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			scrub := func(v any) any {
+				switch r := v.(type) {
+				case *core.Result:
+					return scrubCore(r)
+				case *Result:
+					return scrubGroup(r)
+				case []core.Result:
+					for k := range r {
+						scrubCore(&r[k])
+					}
+					return r
+				}
+				t.Fatalf("unexpected result type %T", v)
+				return nil
+			}
+			base, err := c.run(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			base = scrub(base)
+			for _, w := range []int{2, 4, 8} {
+				got, err := c.run(w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				got = scrub(got)
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("workers=%d diverged from workers=1:\n  w1: %+v\n  w%d: %+v", w, base, w, got)
+				}
+			}
+		})
+	}
 }
 
 // TestKernelSwapCrossGolden repeats the bit-identical pin for the

@@ -20,7 +20,14 @@
 //     distances on the fly in O(max((n/τ)², n)) memory (§5.5)
 //
 // All four return identical optimal distances; they differ only in time
-// and space. The simplest entry point is Discover:
+// and space. Every search is parallel within itself: Options.Workers
+// (default GOMAXPROCS) shards the candidate sweep across cores under one
+// shared best-so-far bound, and any worker count returns byte-identical
+// results — spans, distance bits, and effort counters. Collections
+// parallelize across trajectories instead via DiscoverBatch (see the
+// README's "Concurrency model" for the split).
+//
+// The simplest entry point is Discover:
 //
 //	t, _ := trajmotif.ReadFile("walk.plt")
 //	res, _ := trajmotif.Discover(t, 100, nil)
@@ -284,9 +291,10 @@ func ClusterSubtrajectories(t *Trajectory, window int, eps float64, opt *Cluster
 	return cluster.Subtrajectories(t, window, eps, opt)
 }
 
-// Batch processing over trajectory collections (see internal/batch):
-// each search is the identical sequential algorithm; the fleet fans out
-// over a bounded worker pool.
+// Batch processing over trajectory collections (see internal/batch): the
+// fleet fans out over a bounded worker pool, and each search returns
+// results identical to a standalone run. Within-search parallelism
+// defaults to 1 inside a batch (BatchOptions.SearchWorkers raises it).
 type (
 	// BatchItem is one trajectory's outcome in a batch discovery.
 	BatchItem = batch.Item
