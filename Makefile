@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-smoke fmt vet race fuzz
+.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDFDKernel$$' -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzReadPLT$$' -fuzztime $(FUZZTIME) ./internal/trajio
+
+# End-to-end serve-mode smoke: build the motifserve binary, start it on a
+# free port, upload a generated trajectory, and assert the second
+# identical /discover request rebuilds zero grids.
+serve-smoke:
+	$(GO) test -run '^TestServeSmokeBinary$$' -count=1 -v ./cmd/motifserve
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

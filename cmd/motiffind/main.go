@@ -8,6 +8,12 @@
 //	motiffind -xi 100 -algo btm day1.csv day2.csv
 //	motiffind -xi 50 -algo gtmstar -tau 64 -stats big.plt
 //	motiffind -xi 100 -workers 8 big.plt   # shard the search over 8 cores
+//	motiffind -xi 100 -algo gtm,btm,brutedp -cache -stats walk.plt
+//
+// -algo accepts a comma-separated list; with -cache the queries share one
+// artifact store, so every algorithm after the first reuses the ground-
+// distance grid and bound tables instead of recomputing them (visible in
+// -stats as "grids reused").
 //
 // Input files may be GeoLife .plt or CSV ("lat,lng[,unix]").
 package main
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"trajmotif"
@@ -23,12 +30,13 @@ import (
 
 func main() {
 	xi := flag.Int("xi", 100, "minimum motif length ξ (each leg spans > ξ steps)")
-	algo := flag.String("algo", "gtm", "algorithm: brutedp, btm, gtm, gtmstar")
+	algo := flag.String("algo", "gtm", "algorithm, or comma-separated list: brutedp, btm, gtm, gtmstar")
 	tau := flag.Int("tau", trajmotif.DefaultTau, "initial group size for gtm/gtmstar")
 	stats := flag.Bool("stats", false, "print search statistics")
 	topk := flag.Int("k", 1, "report the k best mutually disjoint motifs (single trajectory, k>1 uses the BTM engine)")
 	epsilon := flag.Float64("epsilon", 0, "approximation slack: result within (1+ε) of optimal; 0 is exact")
 	workers := flag.Int("workers", 0, "parallel workers within the search; 0 = GOMAXPROCS (results are identical for any count)")
+	cache := flag.Bool("cache", false, "share one artifact store across this invocation's queries (several -algo entries, or -k rounds), reusing grids instead of rebuilding them")
 	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
 	flag.Parse()
 
@@ -48,6 +56,9 @@ func main() {
 	}
 
 	opt := &trajmotif.Options{Epsilon: *epsilon, Workers: *workers}
+	if *cache {
+		opt.Artifacts = trajmotif.NewStore(nil)
+	}
 
 	if *topk > 1 {
 		var results []trajmotif.Result
@@ -65,43 +76,65 @@ func main() {
 		return
 	}
 
+	algos := strings.Split(*algo, ",")
+	var last *trajmotif.Result
+	for _, name := range algos {
+		res := runAlgo(strings.TrimSpace(name), t, u, *xi, *tau, opt, *stats, len(algos) > 1)
+		last = res
+	}
+
+	if *geoOut != "" && u == nil && last != nil {
+		f, err := os.Create(*geoOut)
+		fatal(err)
+		fatal(trajmotif.WriteGeoJSON(f, t, last))
+		fatal(f.Close())
+		fmt.Printf("wrote %s (view it in any GeoJSON map tool)\n", *geoOut)
+	}
+}
+
+// runAlgo executes one algorithm of the -algo list and prints its report.
+func runAlgo(algo string, t, u *trajmotif.Trajectory, xi, tau int, opt *trajmotif.Options, stats, multi bool) *trajmotif.Result {
 	start := time.Now()
 	var res *trajmotif.Result
-	switch *algo {
+	var err error
+	switch algo {
 	case "brutedp":
 		if u == nil {
-			res, err = trajmotif.BruteDP(t, *xi, opt)
+			res, err = trajmotif.BruteDP(t, xi, opt)
 		} else {
-			res, err = trajmotif.BruteDPBetween(t, u, *xi, opt)
+			res, err = trajmotif.BruteDPBetween(t, u, xi, opt)
 		}
 	case "btm":
 		if u == nil {
-			res, err = trajmotif.BTM(t, *xi, opt)
+			res, err = trajmotif.BTM(t, xi, opt)
 		} else {
-			res, err = trajmotif.BTMBetween(t, u, *xi, opt)
+			res, err = trajmotif.BTMBetween(t, u, xi, opt)
 		}
 	case "gtm", "gtmstar":
 		var gr *trajmotif.GroupResult
 		switch {
-		case *algo == "gtm" && u == nil:
-			gr, err = trajmotif.GTM(t, *xi, *tau, opt)
-		case *algo == "gtm":
-			gr, err = trajmotif.GTMBetween(t, u, *xi, *tau, opt)
+		case algo == "gtm" && u == nil:
+			gr, err = trajmotif.GTM(t, xi, tau, opt)
+		case algo == "gtm":
+			gr, err = trajmotif.GTMBetween(t, u, xi, tau, opt)
 		case u == nil:
-			gr, err = trajmotif.GTMStar(t, *xi, *tau, opt)
+			gr, err = trajmotif.GTMStar(t, xi, tau, opt)
 		default:
-			gr, err = trajmotif.GTMStarBetween(t, u, *xi, *tau, opt)
+			gr, err = trajmotif.GTMStarBetween(t, u, xi, tau, opt)
 		}
 		if gr != nil {
 			res = &gr.Result
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "motiffind: unknown algorithm %q\n", *algo)
+		fmt.Fprintf(os.Stderr, "motiffind: unknown algorithm %q\n", algo)
 		os.Exit(2)
 	}
 	fatal(err)
 	elapsed := time.Since(start)
 
+	if multi {
+		fmt.Printf("--- %s ---\n", algo)
+	}
 	fmt.Printf("motif distance: %.2f m (discrete Fréchet)\n", res.Distance)
 	describeLeg("leg A", t, res.A)
 	if u == nil {
@@ -109,20 +142,14 @@ func main() {
 	} else {
 		describeLeg("leg B", u, res.B)
 	}
-	fmt.Printf("found in %v with %s\n", elapsed.Round(time.Millisecond), *algo)
-	if *stats {
+	fmt.Printf("found in %v with %s\n", elapsed.Round(time.Millisecond), algo)
+	if stats {
 		s := res.Stats
-		fmt.Printf("candidate subsets: %d, processed: %d (pruned %.2f%%), abandoned mid-DP: %d, DP cells: %d, ~%.1f MB\n",
+		fmt.Printf("candidate subsets: %d, processed: %d (pruned %.2f%%), abandoned mid-DP: %d, DP cells: %d, grids reused: %d, ~%.1f MB\n",
 			s.Subsets, s.SubsetsProcessed, 100*s.PruneRatio(), s.SubsetsAbandoned, s.DPCells,
-			float64(s.PeakBytes)/(1<<20))
+			s.GridRebuildsAvoided, float64(s.PeakBytes)/(1<<20))
 	}
-	if *geoOut != "" && u == nil {
-		f, err := os.Create(*geoOut)
-		fatal(err)
-		fatal(trajmotif.WriteGeoJSON(f, t, res))
-		fatal(f.Close())
-		fmt.Printf("wrote %s (view it in any GeoJSON map tool)\n", *geoOut)
-	}
+	return res
 }
 
 func describeLeg(label string, t *trajmotif.Trajectory, sp trajmotif.Span) {

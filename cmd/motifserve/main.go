@@ -1,0 +1,53 @@
+// Command motifserve runs the long-running motif server: a JSON-over-
+// HTTP front end for motif discovery, top-k, k-NN, similarity join and
+// clustering, backed by a trajectory store that memoizes ground-distance
+// grids and bound tables so repeated queries skip precomputation.
+//
+// Usage:
+//
+//	motifserve -addr :8080
+//	motifserve -addr 127.0.0.1:0 -cache-bytes 1073741824 -workers 4
+//
+// Endpoints (all JSON; see the README's "Serve mode" section):
+//
+//	POST /trajectories  {"points": [[lat,lng],...], "times": [unix...]}
+//	POST /discover      {"id": "...", "xi": 100}
+//	POST /discover/pairs, /topk, /knn, /join, /cluster
+//	GET  /healthz, /stats
+//
+// The listen line "motifserve listening on <host:port>" is printed once
+// the socket is bound, so wrappers can pass port 0 and scrape the
+// assigned port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"trajmotif"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cacheBytes := flag.Int64("cache-bytes", trajmotif.DefaultCacheBytes, "artifact cache budget in bytes (negative disables caching)")
+	workers := flag.Int("workers", 0, "default within-search workers for requests that don't specify one; 0 = GOMAXPROCS")
+	maxBody := flag.Int64("max-body-bytes", 0, "request body cap in bytes; 0 = 64 MiB default, negative disables the cap")
+	flag.Parse()
+
+	st := trajmotif.NewStore(&trajmotif.StoreOptions{CacheBytes: *cacheBytes})
+	srv := trajmotif.NewServer(st, &trajmotif.ServerOptions{Workers: *workers, MaxBodyBytes: *maxBody})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("motifserve listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "motifserve: %v\n", err)
+		os.Exit(1)
+	}
+}

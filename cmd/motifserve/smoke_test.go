@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"trajmotif"
+)
+
+// TestServeSmokeBinary is the end-to-end smoke test behind `make
+// serve-smoke`: build the real motifserve binary, start it on a free
+// port, upload a generated trajectory, and assert that the second
+// identical /discover request reports the reuse (gridRebuildsAvoided)
+// while the server-wide artifact build counter stays flat — zero new
+// grids.
+func TestServeSmokeBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "motifserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	// The binary prints "motifserve listening on <addr>" once bound.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr := line[strings.LastIndex(line, " ")+1:]
+	base := "http://" + addr
+
+	post := func(path string, body, out any) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, e.Error)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	get := func(path string, out any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+
+	// Wait for /healthz (the listen line already implies readiness, but be
+	// robust against a slow first accept).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Upload a generated trajectory.
+	tr, err := trajmotif.GenerateDataset(trajmotif.GeoLife, trajmotif.DatasetConfig{Seed: 42, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([][2]float64, tr.Len())
+	for k, p := range tr.Points {
+		points[k] = [2]float64{p.Lat, p.Lng}
+	}
+	var up struct {
+		ID string `json:"id"`
+		N  int    `json:"n"`
+	}
+	post("/trajectories", map[string]any{"points": points}, &up)
+	if up.N != tr.Len() {
+		t.Fatalf("upload echoed %d points", up.N)
+	}
+
+	type motif struct {
+		A, B struct {
+			Start int `json:"start"`
+			End   int `json:"end"`
+		}
+		Distance float64 `json:"distance"`
+		Stats    struct {
+			GridRebuildsAvoided int64 `json:"gridRebuildsAvoided"`
+			DPCells             int64 `json:"dpCells"`
+		} `json:"stats"`
+	}
+	type stats struct {
+		Built  int64 `json:"built"`
+		Reused int64 `json:"reused"`
+	}
+
+	req := map[string]any{"id": up.ID, "xi": 10}
+	var first motif
+	post("/discover", req, &first)
+	var afterFirst stats
+	get("/stats", &afterFirst)
+
+	var second motif
+	post("/discover", req, &second)
+	var afterSecond stats
+	get("/stats", &afterSecond)
+
+	if second.Stats.GridRebuildsAvoided == 0 {
+		t.Error("second /discover reported no grid reuse")
+	}
+	if afterSecond.Built != afterFirst.Built {
+		t.Errorf("second /discover built %d new artifacts, want 0", afterSecond.Built-afterFirst.Built)
+	}
+	if afterSecond.Reused <= afterFirst.Reused {
+		t.Errorf("reuse counter did not advance: %d -> %d", afterFirst.Reused, afterSecond.Reused)
+	}
+	if first.Distance != second.Distance || first.A != second.A || first.B != second.B ||
+		first.Stats.DPCells != second.Stats.DPCells {
+		t.Errorf("cached /discover differs: %+v vs %+v", first, second)
+	}
+	fmt.Printf("serve-smoke: motif %.2fm, second request avoided %d rebuilds (store built %d, reused %d)\n",
+		second.Distance, second.Stats.GridRebuildsAvoided, afterSecond.Built, afterSecond.Reused)
+}

@@ -49,15 +49,23 @@ type Config struct {
 	// run; 0 selects GOMAXPROCS. Worker count never changes results or
 	// pruning counters, only wall-clock times.
 	Workers int
+	// Artifacts, when non-nil, is a shared grid/bound-table source (the
+	// serve-mode store) threaded into every algorithm invocation: runs
+	// over the same workload reuse one grid instead of rebuilding it.
+	// Results are unchanged; precompute timings shrink to cache hits, so
+	// leave it nil when measuring the paper's cold-start numbers.
+	Artifacts core.ArtifactSource
 }
 
-// opts stamps the run's worker count onto o (nil o starts from the zero
-// Options); every algorithm invocation in the harness routes through it.
+// opts stamps the run's worker count and artifact source onto o (nil o
+// starts from the zero Options); every algorithm invocation in the
+// harness routes through it.
 func (c Config) opts(o *core.Options) *core.Options {
 	if o == nil {
 		o = &core.Options{}
 	}
 	o.Workers = c.Workers
+	o.Artifacts = c.Artifacts
 	return o
 }
 

@@ -99,6 +99,75 @@ type Options struct {
 	// count. A custom Dist must be safe for concurrent use when more than
 	// one worker runs.
 	Workers int
+	// Artifacts, when non-nil, supplies the ground-distance grid and the
+	// relaxed bound tables instead of computing them from scratch — the
+	// serve-mode trajectory store plugs in here so repeated queries skip
+	// grid construction entirely. Reuse is credited to
+	// Stats.GridRebuildsAvoided; results are unaffected because a
+	// conforming source returns artifacts bit-identical to a fresh
+	// computation. Ignored by GTM* (its on-the-fly grid is never
+	// materialized, so there is nothing to reuse).
+	Artifacts ArtifactSource
+}
+
+// ArtifactRequest describes the precomputed inputs of one search
+// instance: the ground-distance grid between point sequences A and B (B
+// aliases A for the single-trajectory problem) and, when WithBounds is
+// set, the point-level relaxed bound tables for minimum motif length Xi.
+type ArtifactRequest struct {
+	A, B       []geo.Point
+	Self       bool
+	Xi         int
+	WithBounds bool
+	Dist       geo.DistanceFunc
+	Workers    int
+}
+
+// ArtifactSource supplies search artifacts, possibly memoized across
+// searches (the serve-mode store). Implementations must be safe for
+// concurrent use and must return artifacts bit-identical to a fresh
+// computation — sound across worker counts because dmatrix's parallel
+// constructors are themselves bit-identical for every worker count.
+// reused counts the constructions served from a cache instead of built
+// (a grid and a bound table count one each); searches credit it to
+// Stats.GridRebuildsAvoided.
+type ArtifactSource interface {
+	Artifacts(req ArtifactRequest) (g *dmatrix.Matrix, rb *bounds.Relaxed, reused int)
+}
+
+// computeArtifacts is the default source: always build, never cache.
+type computeArtifacts struct{}
+
+func (computeArtifacts) Artifacts(req ArtifactRequest) (*dmatrix.Matrix, *bounds.Relaxed, int) {
+	var g *dmatrix.Matrix
+	if req.Self {
+		g = dmatrix.ComputeSelfParallel(req.A, req.Dist, req.Workers)
+	} else {
+		g = dmatrix.ComputeCrossParallel(req.A, req.B, req.Dist, req.Workers)
+	}
+	var rb *bounds.Relaxed
+	if req.WithBounds {
+		rb = bounds.NewRelaxed(g, bounds.PointParams(req.Xi, req.Self))
+	}
+	return g, rb, 0
+}
+
+// ResolveArtifacts maps the Options.Artifacts convention to a concrete
+// source: nil selects the always-compute default. Exported for the
+// drivers outside this package (group's GTM) that resolve artifacts
+// themselves.
+func ResolveArtifacts(src ArtifactSource) ArtifactSource {
+	if src == nil {
+		return computeArtifacts{}
+	}
+	return src
+}
+
+func (o *Options) artifacts() ArtifactSource {
+	if o == nil {
+		return computeArtifacts{}
+	}
+	return ResolveArtifacts(o.Artifacts)
 }
 
 func (o *Options) dist() geo.DistanceFunc {
@@ -123,8 +192,10 @@ type Stats struct {
 	// DPCells is the number of dynamic-programming cells expanded.
 	DPCells int64
 	// GridRebuildsAvoided counts ground-distance grid (and bound-array)
-	// constructions skipped by reuse — top-k rounds after the first share
-	// the first round's grid instead of recomputing it.
+	// constructions skipped by reuse: top-k rounds after the first share
+	// the first round's grid instead of recomputing it, and searches fed
+	// from a memoizing ArtifactSource (the serve-mode store) credit every
+	// cache hit here — extending the accounting across requests.
 	GridRebuildsAvoided int64
 
 	// Pruning attribution (filled when Options.CollectBreakdown is set):
@@ -405,12 +476,9 @@ func bruteDP(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error)
 	}
 	workers := ResolveWorkers(optWorkers(opt))
 	start := time.Now()
-	var g *dmatrix.Matrix
-	if self {
-		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
-	} else {
-		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
-	}
+	g, _, reused := opt.artifacts().Artifacts(ArtifactRequest{
+		A: a, B: b, Self: self, Dist: opt.dist(), Workers: workers,
+	})
 	s := NewSearcher(g, xi, self, nil, false)
 	s.SetWorkers(workers)
 	s.SetEarlyAbandon(opt == nil || !opt.DisableEarlyAbandon)
@@ -418,6 +486,7 @@ func bruteDP(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error)
 		return nil, ErrTooShort
 	}
 	s.stats.N, s.stats.M, s.stats.Xi = s.p.n, s.p.m, xi
+	s.stats.GridRebuildsAvoided = int64(reused)
 
 	// Algorithm 1 has no bounds: feed every feasible subset with a
 	// never-prunable LB, in start-cell order.
@@ -461,16 +530,11 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 	}
 	workers := ResolveWorkers(opt.Workers)
 	start := time.Now()
-	var g *dmatrix.Matrix
-	if self {
-		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
-	} else {
-		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
-	}
-
-	// Relaxed arrays are always built: even in tight mode they back the
+	// Relaxed arrays are always requested: even in tight mode they back the
 	// end-cross cap, whose relaxed form is what Alg. 2 uses at line 12.
-	rb := bounds.NewRelaxed(g, bounds.PointParams(xi, self))
+	g, rb, reused := opt.artifacts().Artifacts(ArtifactRequest{
+		A: a, B: b, Self: self, Xi: xi, WithBounds: true, Dist: opt.dist(), Workers: workers,
+	})
 	var tb *bounds.Tight
 	if opt.Bounds == BoundsTight {
 		tb = bounds.NewTight(g, xi, self)
@@ -484,6 +548,7 @@ func btm(a, b []geo.Point, xi int, self bool, opt *Options) (*Result, error) {
 		return nil, ErrTooShort
 	}
 	s.stats.N, s.stats.M, s.stats.Xi = s.p.n, s.p.m, xi
+	s.stats.GridRebuildsAvoided = int64(reused)
 
 	subsetLB := func(i, j int) float64 {
 		cell := g.At(i, j)

@@ -18,8 +18,6 @@ import (
 	"fmt"
 	"time"
 
-	"trajmotif/internal/bounds"
-	"trajmotif/internal/dmatrix"
 	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
 )
@@ -50,13 +48,9 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 
 	workers := ResolveWorkers(opt.Workers)
 	start := time.Now()
-	var g *dmatrix.Matrix
-	if self {
-		g = dmatrix.ComputeSelfParallel(a, opt.dist(), workers)
-	} else {
-		g = dmatrix.ComputeCrossParallel(a, b, opt.dist(), workers)
-	}
-	rb := bounds.NewRelaxed(g, bounds.PointParams(xi, self))
+	g, rb, reused := opt.artifacts().Artifacts(ArtifactRequest{
+		A: a, B: b, Self: self, Xi: xi, WithBounds: true, Dist: opt.dist(), Workers: workers,
+	})
 	probe := NewSearcher(g, xi, self, rb, !opt.DisableEndCross)
 	if !probe.Feasible() {
 		return nil, ErrTooShort
@@ -106,9 +100,11 @@ func topK(a, b []geo.Point, xi, k int, self bool, opt *Options) ([]Result, error
 		}
 		res.Stats.N, res.Stats.M, res.Stats.Xi = len(a), len(b), xi
 		res.Stats.Precompute = precompute
-		precompute = 0 // charged to the first round only
-		// Rounds after the first reuse the round-1 grid and bound arrays.
-		res.Stats.GridRebuildsAvoided = int64(round)
+		// Rounds after the first reuse the round-1 grid and bound arrays;
+		// reuse from an ArtifactSource is charged, like Precompute, to the
+		// first round only — each hit happened exactly once.
+		res.Stats.GridRebuildsAvoided = int64(round) + int64(reused)
+		precompute, reused = 0, 0
 		found = append(found, *res)
 		legsA = append(legsA, res.A)
 		legsB = append(legsB, res.B)

@@ -127,6 +127,23 @@ func (m *Matrix) Dims() (int, int) { return m.n, m.m }
 // space-consumption experiment (Figure 19).
 func (m *Matrix) Bytes() int64 { return int64(len(m.vals)) * 8 }
 
+// Transposed materializes the transpose of m — the grid of (b, a) given
+// the grid of (a, b) — by copying values instead of re-evaluating the
+// ground distance per cell. Ground distances are symmetric (the
+// geo.DistanceFunc contract), so the result is bit-identical to
+// ComputeCross(b, a, df) at a fraction of the cost; the serve-mode store
+// uses it to answer swapped-pair grid requests from one cached matrix.
+func (m *Matrix) Transposed() *Matrix {
+	t := &Matrix{n: m.m, m: m.n, vals: make([]float64, len(m.vals))}
+	for i := 0; i < m.n; i++ {
+		row := m.vals[i*m.m : (i+1)*m.m]
+		for j, v := range row {
+			t.vals[j*t.m+i] = v
+		}
+	}
+	return t
+}
+
 // Fly evaluates ground distances on demand without storing them. It is the
 // grid used by GTM* (§5.5, Idea i): each At call costs one ground-distance
 // evaluation, trading CPU for the O(n^2) matrix memory.

@@ -263,20 +263,22 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	start := time.Now()
 	var grid dmatrix.Grid
 	var gridBytes int64
+	var rbPoint *bounds.Relaxed
+	var reused int
 	if star {
+		// GTM* never materializes the grid (§5.5, Idea i), so there is
+		// nothing for an ArtifactSource to reuse.
 		grid = &dmatrix.Fly{A: a, B: b, DF: df}
+		rbPoint = bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
 	} else {
 		var m *dmatrix.Matrix
-		if self {
-			m = dmatrix.ComputeSelfParallel(a, df, workers)
-		} else {
-			m = dmatrix.ComputeCrossParallel(a, b, df, workers)
-		}
+		m, rbPoint, reused = core.ResolveArtifacts(opt.Artifacts).Artifacts(core.ArtifactRequest{
+			A: a, B: b, Self: self, Xi: xi, WithBounds: true, Dist: df, Workers: workers,
+		})
 		grid = m
 		gridBytes = m.Bytes()
 	}
 
-	rbPoint := bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
 	s := core.NewSearcher(grid, xi, self, rbPoint, !opt.DisableEndCross)
 	s.SetWorkers(workers)
 	s.SetEpsilon(opt.Epsilon)
@@ -288,6 +290,7 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	gst := Stats{}
 	st := s.Stats()
 	st.N, st.M, st.Xi = n, m, xi
+	st.GridRebuildsAvoided = int64(reused)
 	st.PeakBytes = gridBytes + rbPoint.Bytes()
 
 	// survivors tracks surviving group pairs at the current τ; nil means

@@ -83,20 +83,30 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 		lb = math.Max(lb, probeBound(p, qBox, df))
 		cands = append(cands, cand{idx: i, lb: lb})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lb != cands[b].lb {
+			return cands[a].lb < cands[b].lb
+		}
+		return cands[a].idx < cands[b].idx
+	})
 
-	// Max-heap of the best k distances found so far.
+	// Max-heap of the best k neighbors found so far, ordered by
+	// (distance, index) so the root is the lexicographically worst
+	// incumbent. The cap and the early break must keep candidates with
+	// d == kth alive: such a candidate still displaces a higher-index
+	// incumbent under the promised tie-breaking, so only strictly worse
+	// ones (lb > kth, or a DP proven >= nextafter(kth)) are dropped.
 	h := &nbrHeap{}
 	heap.Init(h)
 	kth := math.Inf(1)
 	for ci, c := range cands {
-		if h.Len() == k && c.lb >= kth {
+		if h.Len() == k && c.lb > kth {
 			st.SkippedByLB = int64(len(cands) - ci)
 			break
 		}
-		capd := kth
-		if h.Len() < k {
-			capd = math.Inf(1)
+		capd := math.Inf(1)
+		if h.Len() == k {
+			capd = math.Nextafter(kth, math.Inf(1))
 		}
 		d, exceeded := dist.DFDCapped(q, dataset[c.idx].Points, df, capd)
 		if exceeded {
@@ -104,10 +114,11 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 			continue
 		}
 		st.Exact++
+		nb := Neighbor{Index: c.idx, Distance: d}
 		if h.Len() < k {
-			heap.Push(h, Neighbor{Index: c.idx, Distance: d})
-		} else if d < kth {
-			(*h)[0] = Neighbor{Index: c.idx, Distance: d}
+			heap.Push(h, nb)
+		} else if nbrLess(nb, (*h)[0]) {
+			(*h)[0] = nb
 			heap.Fix(h, 0)
 		}
 		if h.Len() == k {
@@ -119,19 +130,22 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Neighbor)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Distance != out[b].Distance {
-			return out[a].Distance < out[b].Distance
-		}
-		return out[a].Index < out[b].Index
-	})
+	sort.Slice(out, func(a, b int) bool { return nbrLess(out[a], out[b]) })
 	return out, st, nil
+}
+
+// nbrLess is the result order: ascending distance, ties broken by index.
+func nbrLess(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Index < b.Index
 }
 
 type nbrHeap []Neighbor
 
 func (h nbrHeap) Len() int           { return len(h) }
-func (h nbrHeap) Less(i, j int) bool { return h[i].Distance > h[j].Distance } // max-heap
+func (h nbrHeap) Less(i, j int) bool { return nbrLess(h[j], h[i]) } // max-heap on (distance, index)
 func (h nbrHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *nbrHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
 func (h *nbrHeap) Pop() any {

@@ -3,6 +3,7 @@ package knn
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"trajmotif/internal/datagen"
@@ -158,6 +159,84 @@ func TestDFDCapped(t *testing.T) {
 			}
 		} else if math.Abs(d-exact) > 1e-9 {
 			t.Fatalf("tight cap completed with wrong value %g, want %g", d, exact)
+		}
+	}
+}
+
+// TestNearestTieBreakByIndex is the regression for the tie-breaking bug:
+// a candidate whose exact distance equals the current k-th best could
+// never displace a higher-index incumbent (replacement required d < kth,
+// and the lb >= kth early break dropped it first), so the reported set
+// was not the promised lexicographic top-k.
+//
+// Construction (planar Euclidean, 3-4-5 triangles so every distance is an
+// exact float): both candidates are at DFD exactly 5 from the query, but
+// candidate 1 has matching endpoints (lower bound 0) and is processed
+// first, while candidate 0's lower bound equals the true distance — the
+// old code broke before ever computing it.
+func TestNearestTieBreakByIndex(t *testing.T) {
+	q := traj.FromPoints([]geo.Point{{Lng: 0, Lat: 0}, {Lng: 6, Lat: 0}, {Lng: 12, Lat: 0}})
+	a := traj.FromPoints([]geo.Point{{Lng: 0, Lat: 5}, {Lng: 6, Lat: 5}, {Lng: 12, Lat: 5}})
+	b := traj.FromPoints([]geo.Point{{Lng: 0, Lat: 0}, {Lng: 3, Lat: 4}, {Lng: 6, Lat: 0}, {Lng: 12, Lat: 0}})
+	da := dist.DFD(q.Points, a.Points, geo.Euclidean)
+	db := dist.DFD(q.Points, b.Points, geo.Euclidean)
+	if da != 5 || db != 5 {
+		t.Fatalf("construction broken: DFD(q,a)=%v DFD(q,b)=%v, want exactly 5", da, db)
+	}
+
+	got, _, err := Nearest(q, []*traj.Trajectory{a, b}, 1, &Options{Dist: geo.Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Index != 0 || got[0].Distance != 5 {
+		t.Fatalf("got %+v, want the lower-index tie (index 0, distance 5)", got)
+	}
+}
+
+// TestNearestLexicographicProperty: on duplicate-heavy datasets (ties
+// everywhere) the reported set must equal the brute-force lexicographic
+// (distance, index) top-k — indexes included, not just distances.
+func TestNearestLexicographicProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 30; trial++ {
+		query := randWalk(r, 8+r.Intn(8), 0, 0)
+		// A few base shapes, each repeated several times: equal distances
+		// are the norm, so index tie-breaking decides most of the result.
+		var ds []*traj.Trajectory
+		var bases []*traj.Trajectory
+		for i := 0; i < 4; i++ {
+			bases = append(bases, randWalk(r, 8+r.Intn(8), r.Float64()*20-10, r.Float64()*20-10))
+		}
+		for i := 0; i < 12; i++ {
+			ds = append(ds, bases[r.Intn(len(bases))])
+		}
+		k := 1 + r.Intn(6)
+		got, _, err := Nearest(query, ds, k, &Options{Dist: geo.Euclidean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type nd struct {
+			idx int
+			d   float64
+		}
+		var all []nd
+		for i, tr := range ds {
+			all = append(all, nd{i, dist.DFD(query.Points, tr.Points, geo.Euclidean)})
+		}
+		sort.Slice(all, func(x, y int) bool {
+			if all[x].d != all[y].d {
+				return all[x].d < all[y].d
+			}
+			return all[x].idx < all[y].idx
+		})
+		if len(got) != k {
+			t.Fatalf("trial %d: returned %d, want %d", trial, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if got[i].Index != all[i].idx || got[i].Distance != all[i].d {
+				t.Fatalf("trial %d rank %d: got (%d, %g), want (%d, %g)",
+					trial, i, got[i].Index, got[i].Distance, all[i].idx, all[i].d)
+			}
 		}
 	}
 }

@@ -1,0 +1,662 @@
+// Package serve implements the long-running motif server: a JSON-over-
+// HTTP front end for every operation in the library, routed through one
+// trajectory store (internal/store) so repeated and overlapping queries
+// skip ground-distance grid construction entirely — the serve-mode
+// prerequisite of the ROADMAP's "millions of users" north star.
+//
+// Endpoints:
+//
+//	POST /trajectories    register a trajectory; returns its content ID
+//	POST /discover        motif in one trajectory, or between two (id2)
+//	POST /discover/pairs  motifs between every pair of the given ids
+//	POST /topk            k best mutually disjoint motifs
+//	POST /knn             k nearest stored trajectories to a query
+//	POST /join            all pairs within DFD eps
+//	POST /cluster         subtrajectory clustering of one trajectory
+//	GET  /healthz         liveness + uptime
+//	GET  /stats           store and cache statistics, cumulative reuse
+//
+// Every search runs with core.Options.Artifacts pointed at the store, so
+// a repeated /discover computes zero new grids (visible per-response in
+// stats.gridRebuildsAvoided and cumulatively in GET /stats). Cached
+// answers are byte-identical to uncached library calls for every worker
+// count; see internal/store for the argument.
+//
+// Resource bounds: request bodies are capped (Options.MaxBodyBytes,
+// default 64 MiB) and the artifact cache is budgeted, but the trajectory
+// registry itself grows with every distinct upload — the store has no
+// expiry. Deployments accepting untrusted uploads should front the
+// server with quota enforcement; a registry eviction policy is a
+// ROADMAP item.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"trajmotif/internal/batch"
+	"trajmotif/internal/cluster"
+	"trajmotif/internal/core"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/group"
+	"trajmotif/internal/join"
+	"trajmotif/internal/knn"
+	"trajmotif/internal/store"
+	"trajmotif/internal/traj"
+	"trajmotif/internal/trajio"
+)
+
+// defaultTau is the GTM initial group size when a request omits it (the
+// paper's τ = 32 default).
+const defaultTau = 32
+
+// DefaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is
+// zero: 64 MiB, room for a multi-million-point trajectory upload.
+const DefaultMaxBodyBytes = 64 << 20
+
+// Options configures a server.
+type Options struct {
+	// Workers is the within-search worker count applied to requests that
+	// do not specify their own; 0 selects GOMAXPROCS. Results are
+	// byte-identical for every count.
+	Workers int
+	// MaxBodyBytes caps every request body (oversize bodies fail the
+	// JSON decode with a 400). Zero selects DefaultMaxBodyBytes;
+	// negative disables the cap.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP handler. Create with New; it is safe for concurrent
+// requests (the store serializes cache access internally).
+type Server struct {
+	st       *store.Store
+	workers  int
+	maxBody  int64
+	mux      *http.ServeMux
+	started  time.Time
+	requests atomic.Int64
+}
+
+// New builds a server around st. opt may be nil for defaults.
+func New(st *store.Store, opt *Options) *Server {
+	s := &Server{st: st, maxBody: DefaultMaxBodyBytes, started: time.Now()}
+	if opt != nil {
+		s.workers = opt.Workers
+		if opt.MaxBodyBytes > 0 {
+			s.maxBody = opt.MaxBodyBytes
+		} else if opt.MaxBodyBytes < 0 {
+			s.maxBody = 0
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /trajectories", s.handleTrajectories)
+	s.mux.HandleFunc("POST /discover", s.handleDiscover)
+	s.mux.HandleFunc("POST /discover/pairs", s.handleDiscoverPairs)
+	s.mux.HandleFunc("POST /topk", s.handleTopK)
+	s.mux.HandleFunc("POST /knn", s.handleKNN)
+	s.mux.HandleFunc("POST /join", s.handleJoin)
+	s.mux.HandleFunc("POST /cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.maxBody > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Store returns the trajectory store the server fronts.
+func (s *Server) Store() *store.Store { return s.st }
+
+func (s *Server) resolveWorkers(req int) int {
+	if req > 0 {
+		return req
+	}
+	return s.workers
+}
+
+// searchOptions builds the per-request search options: the store is the
+// artifact source and its ground distance is pinned so cache keys match.
+func (s *Server) searchOptions(workers int, epsilon float64) *core.Options {
+	return &core.Options{
+		Dist:      s.st.Dist(),
+		Epsilon:   epsilon,
+		Workers:   s.resolveWorkers(workers),
+		Artifacts: s.st,
+	}
+}
+
+// --- JSON shapes ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type trajectoryRequest struct {
+	// Points are [lat, lng] pairs in degrees.
+	Points [][2]float64 `json:"points"`
+	// Times are optional unix seconds (fractional allowed), one per point.
+	Times []float64 `json:"times,omitempty"`
+	// CSV is an alternative to Points: a whole file in the trajio CSV
+	// format ("lat,lng[,unix]" with optional header).
+	CSV string `json:"csv,omitempty"`
+}
+
+type trajectoryResponse struct {
+	ID      store.ID `json:"id"`
+	N       int      `json:"n"`
+	Timed   bool     `json:"timed"`
+	Created bool     `json:"created"`
+}
+
+type spanJSON struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+type statsJSON struct {
+	N                   int     `json:"n"`
+	M                   int     `json:"m"`
+	Xi                  int     `json:"xi"`
+	Subsets             int64   `json:"subsets"`
+	SubsetsProcessed    int64   `json:"subsetsProcessed"`
+	SubsetsAbandoned    int64   `json:"subsetsAbandoned"`
+	DPCells             int64   `json:"dpCells"`
+	GridRebuildsAvoided int64   `json:"gridRebuildsAvoided"`
+	PeakBytes           int64   `json:"peakBytes"`
+	PrecomputeMS        float64 `json:"precomputeMs"`
+	SearchMS            float64 `json:"searchMs"`
+}
+
+func statsOf(st core.Stats) statsJSON {
+	return statsJSON{
+		N: st.N, M: st.M, Xi: st.Xi,
+		Subsets:             st.Subsets,
+		SubsetsProcessed:    st.SubsetsProcessed,
+		SubsetsAbandoned:    st.SubsetsAbandoned,
+		DPCells:             st.DPCells,
+		GridRebuildsAvoided: st.GridRebuildsAvoided,
+		PeakBytes:           st.PeakBytes,
+		PrecomputeMS:        float64(st.Precompute) / float64(time.Millisecond),
+		SearchMS:            float64(st.Search) / float64(time.Millisecond),
+	}
+}
+
+type motifResponse struct {
+	A        spanJSON  `json:"a"`
+	B        spanJSON  `json:"b"`
+	Distance float64   `json:"distance"`
+	Stats    statsJSON `json:"stats"`
+}
+
+func motifOf(r *core.Result) motifResponse {
+	return motifResponse{
+		A:        spanJSON{r.A.Start, r.A.End},
+		B:        spanJSON{r.B.Start, r.B.End},
+		Distance: r.Distance,
+		Stats:    statsOf(r.Stats),
+	}
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves a trajectory id, writing a 404 on a miss.
+func (s *Server) lookup(w http.ResponseWriter, id store.ID) (*traj.Trajectory, bool) {
+	t, ok := s.st.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
+	}
+	return t, ok
+}
+
+// searchStatus maps library errors to HTTP statuses: infeasible inputs
+// are the client's fault, everything else is a 500.
+func searchStatus(err error) int {
+	if errors.Is(err, core.ErrTooShort) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+// --- handlers ---
+
+func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
+	var req trajectoryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var t *traj.Trajectory
+	var err error
+	switch {
+	case req.CSV != "" && len(req.Points) > 0:
+		writeError(w, http.StatusBadRequest, "give points or csv, not both")
+		return
+	case req.CSV != "":
+		t, err = trajio.ReadCSV(strings.NewReader(req.CSV))
+	default:
+		t, err = trajFromRequest(req)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, created, err := s.st.Add(t)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, trajectoryResponse{
+		ID: id, N: t.Len(), Timed: t.Times != nil, Created: created,
+	})
+}
+
+type discoverRequest struct {
+	ID      store.ID `json:"id"`
+	ID2     store.ID `json:"id2,omitempty"`
+	Xi      int      `json:"xi"`
+	Tau     int      `json:"tau,omitempty"`
+	Algo    string   `json:"algo,omitempty"`
+	Epsilon float64  `json:"epsilon,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Xi < 0 {
+		writeError(w, http.StatusBadRequest, "negative minimum motif length %d", req.Xi)
+		return
+	}
+	t, ok := s.lookup(w, req.ID)
+	if !ok {
+		return
+	}
+	var u *traj.Trajectory
+	if req.ID2 != "" {
+		if u, ok = s.lookup(w, req.ID2); !ok {
+			return
+		}
+	}
+	tau := req.Tau
+	if tau <= 0 {
+		tau = defaultTau
+	}
+	opt := s.searchOptions(req.Workers, req.Epsilon)
+
+	var res *core.Result
+	var err error
+	switch req.Algo {
+	case "", "gtm", "gtmstar":
+		var gr *group.Result
+		star := req.Algo == "gtmstar"
+		switch {
+		case star && u == nil:
+			gr, err = group.GTMStar(t, req.Xi, tau, opt)
+		case star:
+			gr, err = group.GTMStarCross(t, u, req.Xi, tau, opt)
+		case u == nil:
+			gr, err = group.GTM(t, req.Xi, tau, opt)
+		default:
+			gr, err = group.GTMCross(t, u, req.Xi, tau, opt)
+		}
+		if gr != nil {
+			res = &gr.Result
+		}
+	case "btm":
+		if u == nil {
+			res, err = core.BTM(t, req.Xi, opt)
+		} else {
+			res, err = core.BTMCross(t, u, req.Xi, opt)
+		}
+	case "brutedp":
+		if u == nil {
+			res, err = core.BruteDP(t, req.Xi, opt)
+		} else {
+			res, err = core.BruteDPCross(t, u, req.Xi, opt)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
+		return
+	}
+	if err != nil {
+		writeError(w, searchStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, motifOf(res))
+}
+
+type discoverPairsRequest struct {
+	IDs     []store.ID `json:"ids"`
+	Xi      int        `json:"xi"`
+	Tau     int        `json:"tau,omitempty"`
+	Workers int        `json:"workers,omitempty"`
+}
+
+type pairResponse struct {
+	I     int            `json:"i"`
+	J     int            `json:"j"`
+	IDA   store.ID       `json:"idA"`
+	IDB   store.ID       `json:"idB"`
+	Error string         `json:"error,omitempty"`
+	Motif *motifResponse `json:"motif,omitempty"`
+}
+
+func (s *Server) handleDiscoverPairs(w http.ResponseWriter, r *http.Request) {
+	var req discoverPairsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) < 2 {
+		writeError(w, http.StatusBadRequest, "need at least two ids, got %d", len(req.IDs))
+		return
+	}
+	if req.Xi < 0 {
+		writeError(w, http.StatusBadRequest, "negative minimum motif length %d", req.Xi)
+		return
+	}
+	ts := make([]*traj.Trajectory, len(req.IDs))
+	for k, id := range req.IDs {
+		t, ok := s.lookup(w, id)
+		if !ok {
+			return
+		}
+		ts[k] = t
+	}
+	items, err := batch.DiscoverAllPairs(ts, req.Xi, &batch.Options{
+		Search:  s.searchOptions(1, 0), // within-search stays 1: the pair pool parallelizes
+		Tau:     req.Tau,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]pairResponse, len(items))
+	for k, it := range items {
+		out[k] = pairResponse{I: it.I, J: it.J, IDA: req.IDs[it.I], IDB: req.IDs[it.J]}
+		if it.Err != nil {
+			out[k].Error = it.Err.Error()
+		} else {
+			m := motifOf(&it.Result.Result)
+			out[k].Motif = &m
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type topkRequest struct {
+	ID      store.ID `json:"id"`
+	ID2     store.ID `json:"id2,omitempty"`
+	Xi      int      `json:"xi"`
+	K       int      `json:"k"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Xi < 0 || req.K < 1 {
+		writeError(w, http.StatusBadRequest, "need xi >= 0 and k >= 1, got xi=%d k=%d", req.Xi, req.K)
+		return
+	}
+	t, ok := s.lookup(w, req.ID)
+	if !ok {
+		return
+	}
+	opt := s.searchOptions(req.Workers, 0)
+	var results []core.Result
+	var err error
+	if req.ID2 == "" {
+		results, err = core.TopK(t, req.Xi, req.K, opt)
+	} else {
+		var u *traj.Trajectory
+		if u, ok = s.lookup(w, req.ID2); !ok {
+			return
+		}
+		results, err = core.TopKCross(t, u, req.Xi, req.K, opt)
+	}
+	if err != nil {
+		writeError(w, searchStatus(err), "%v", err)
+		return
+	}
+	out := make([]motifResponse, len(results))
+	for k := range results {
+		out[k] = motifOf(&results[k])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type knnRequest struct {
+	Query store.ID   `json:"query"`
+	IDs   []store.ID `json:"ids,omitempty"` // default: all stored except the query
+	K     int        `json:"k"`
+}
+
+type neighborResponse struct {
+	ID       store.ID `json:"id"`
+	Index    int      `json:"index"`
+	Distance float64  `json:"distance"`
+}
+
+type knnResponse struct {
+	Neighbors []neighborResponse `json:"neighbors"`
+	Stats     knn.Stats          `json:"stats"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, ok := s.lookup(w, req.Query)
+	if !ok {
+		return
+	}
+	ids := req.IDs
+	if ids == nil {
+		for _, id := range s.st.IDs() {
+			if id != req.Query {
+				ids = append(ids, id)
+			}
+		}
+	}
+	ds := make([]*traj.Trajectory, len(ids))
+	for k, id := range ids {
+		t, ok := s.lookup(w, id)
+		if !ok {
+			return
+		}
+		ds[k] = t
+	}
+	nbrs, st, err := knn.Nearest(q, ds, req.K, &knn.Options{Dist: s.st.Dist()})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := knnResponse{Neighbors: make([]neighborResponse, len(nbrs)), Stats: st}
+	for k, nb := range nbrs {
+		out.Neighbors[k] = neighborResponse{ID: ids[nb.Index], Index: nb.Index, Distance: nb.Distance}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type joinRequest struct {
+	IDs   []store.ID `json:"ids,omitempty"` // default: all stored
+	Eps   float64    `json:"eps"`
+	Exact bool       `json:"exact,omitempty"`
+}
+
+type joinPairResponse struct {
+	IDA      store.ID `json:"idA"`
+	IDB      store.ID `json:"idB"`
+	I        int      `json:"i"`
+	J        int      `json:"j"`
+	Distance float64  `json:"distance"`
+}
+
+type joinResponse struct {
+	Pairs []joinPairResponse `json:"pairs"`
+	Stats join.Stats         `json:"stats"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ids := req.IDs
+	if ids == nil {
+		ids = s.st.IDs()
+	}
+	ts := make([]*traj.Trajectory, len(ids))
+	for k, id := range ids {
+		t, ok := s.lookup(w, id)
+		if !ok {
+			return
+		}
+		ts[k] = t
+	}
+	pairs, st, err := join.Join(ts, req.Eps, &join.Options{Dist: s.st.Dist(), Exact: req.Exact})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := joinResponse{Pairs: make([]joinPairResponse, len(pairs)), Stats: st}
+	for k, p := range pairs {
+		out.Pairs[k] = joinPairResponse{IDA: ids[p.I], IDB: ids[p.J], I: p.I, J: p.J, Distance: p.Distance}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type clusterRequest struct {
+	ID      store.ID `json:"id"`
+	Window  int      `json:"window"`
+	Eps     float64  `json:"eps"`
+	Stride  int      `json:"stride,omitempty"`
+	MinSize int      `json:"minSize,omitempty"`
+}
+
+type clusterResponse struct {
+	Representative spanJSON   `json:"representative"`
+	Members        []spanJSON `json:"members"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var req clusterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	t, ok := s.lookup(w, req.ID)
+	if !ok {
+		return
+	}
+	clusters, err := cluster.Subtrajectories(t, req.Window, req.Eps, &cluster.Options{
+		Dist: s.st.Dist(), Stride: req.Stride, MinSize: req.MinSize,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]clusterResponse, len(clusters))
+	for k, c := range clusters {
+		out[k] = clusterResponse{Representative: spanJSON{c.Representative.Start, c.Representative.End}}
+		for _, m := range c.Members {
+			out[k].Members = append(out[k].Members, spanJSON{m.Start, m.End})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":           true,
+		"uptime":       time.Since(s.started).Round(time.Millisecond).String(),
+		"trajectories": s.st.Len(),
+	})
+}
+
+// serverStats is the GET /stats payload: the store snapshot plus request
+// accounting. gridRebuildsAvoided is the cumulative cross-request reuse.
+type serverStats struct {
+	Trajectories        int    `json:"trajectories"`
+	Artifacts           int    `json:"artifacts"`
+	CacheBytes          int64  `json:"cacheBytes"`
+	CacheBudget         int64  `json:"cacheBudget"`
+	Built               int64  `json:"built"`
+	Reused              int64  `json:"reused"`
+	Evicted             int64  `json:"evicted"`
+	GridRebuildsAvoided int64  `json:"gridRebuildsAvoided"`
+	Requests            int64  `json:"requests"`
+	Uptime              string `json:"uptime"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	writeJSON(w, http.StatusOK, serverStats{
+		Trajectories:        st.Trajectories,
+		Artifacts:           st.Artifacts,
+		CacheBytes:          st.CacheBytes,
+		CacheBudget:         st.CacheBudget,
+		Built:               st.Built,
+		Reused:              st.Reused,
+		Evicted:             st.Evicted,
+		GridRebuildsAvoided: st.GridRebuildsAvoided(),
+		Requests:            s.requests.Load(),
+		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+// trajFromRequest builds a trajectory from the points/times arrays.
+func trajFromRequest(req trajectoryRequest) (*traj.Trajectory, error) {
+	if len(req.Points) == 0 {
+		return nil, errors.New("serve: empty points")
+	}
+	points := make([]geo.Point, len(req.Points))
+	for k, p := range req.Points {
+		points[k] = geo.Point{Lat: p[0], Lng: p[1]}
+	}
+	var times []time.Time
+	if req.Times != nil {
+		if len(req.Times) != len(points) {
+			return nil, fmt.Errorf("serve: %d times for %d points", len(req.Times), len(points))
+		}
+		times = make([]time.Time, len(req.Times))
+		for k, unix := range req.Times {
+			sec := int64(unix)
+			times[k] = time.Unix(sec, int64((unix-float64(sec))*1e9)).UTC()
+		}
+	}
+	return traj.New(points, times)
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/group"
+	"trajmotif/internal/store"
+	"trajmotif/internal/traj"
+)
+
+// harness spins up an httptest server around a fresh store.
+func harness(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := New(store.New(nil), &Options{Workers: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// call POSTs (or GETs when body is nil) and decodes the JSON response
+// into out, failing the test on transport errors or a status mismatch.
+func call(t *testing.T, ts *httptest.Server, method, path string, body, out any, wantStatus int) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != nil {
+		b, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		req, err = http.NewRequest(method, ts.URL+path, bytes.NewReader(b))
+	} else {
+		req, err = http.NewRequest(method, ts.URL+path, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+}
+
+func upload(t *testing.T, ts *httptest.Server, tr *traj.Trajectory) store.ID {
+	t.Helper()
+	req := trajectoryRequest{Points: make([][2]float64, tr.Len())}
+	for k, p := range tr.Points {
+		req.Points[k] = [2]float64{p.Lat, p.Lng}
+	}
+	if tr.Times != nil {
+		req.Times = make([]float64, tr.Len())
+		for k, ts := range tr.Times {
+			req.Times[k] = float64(ts.Unix())
+		}
+	}
+	var resp trajectoryResponse
+	call(t, ts, "POST", "/trajectories", req, &resp, http.StatusOK)
+	if resp.N != tr.Len() {
+		t.Fatalf("upload echoed %d points, sent %d", resp.N, tr.Len())
+	}
+	return resp.ID
+}
+
+func fixture(t *testing.T, seed int64, n int) *traj.Trajectory {
+	t.Helper()
+	tr, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: seed, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrajectoryUploadAndDedup(t *testing.T) {
+	ts, srv := harness(t)
+	tr := fixture(t, 1, 80)
+	id := upload(t, ts, tr)
+	id2 := upload(t, ts, tr)
+	if id != id2 {
+		t.Fatalf("re-upload changed id: %s vs %s", id, id2)
+	}
+	if srv.Store().Len() != 1 {
+		t.Fatalf("store holds %d trajectories, want 1", srv.Store().Len())
+	}
+
+	// CSV body variant.
+	var resp trajectoryResponse
+	call(t, ts, "POST", "/trajectories",
+		trajectoryRequest{CSV: "lat,lng\n39.9,116.4\n39.91,116.41\n"}, &resp, http.StatusOK)
+	if resp.N != 2 || resp.Timed {
+		t.Fatalf("csv upload: %+v", resp)
+	}
+
+	// Bad bodies.
+	call(t, ts, "POST", "/trajectories", trajectoryRequest{}, nil, http.StatusBadRequest)
+	call(t, ts, "POST", "/trajectories",
+		trajectoryRequest{Points: [][2]float64{{91, 0}, {0, 0}}}, nil, http.StatusBadRequest)
+}
+
+// TestRepeatDiscoverSkipsGrids is the serve-mode acceptance criterion:
+// the second identical /discover computes zero new grids — visible in
+// the response's gridRebuildsAvoided and in GET /stats — and returns the
+// identical motif.
+func TestRepeatDiscoverSkipsGrids(t *testing.T) {
+	ts, _ := harness(t)
+	id := upload(t, ts, fixture(t, 2, 200))
+
+	var first, second motifResponse
+	req := discoverRequest{ID: id, Xi: 8}
+	call(t, ts, "POST", "/discover", req, &first, http.StatusOK)
+
+	var stats1 serverStats
+	call(t, ts, "GET", "/stats", nil, &stats1, http.StatusOK)
+
+	call(t, ts, "POST", "/discover", req, &second, http.StatusOK)
+
+	var stats2 serverStats
+	call(t, ts, "GET", "/stats", nil, &stats2, http.StatusOK)
+
+	if second.Stats.GridRebuildsAvoided != 2 {
+		t.Errorf("second discover gridRebuildsAvoided = %d, want 2", second.Stats.GridRebuildsAvoided)
+	}
+	if stats2.Built != stats1.Built {
+		t.Errorf("second discover built %d new artifacts", stats2.Built-stats1.Built)
+	}
+	if stats2.GridRebuildsAvoided < 2 {
+		t.Errorf("cumulative gridRebuildsAvoided = %d, want >= 2", stats2.GridRebuildsAvoided)
+	}
+	if first.Distance != second.Distance || first.A != second.A || first.B != second.B ||
+		first.Stats.DPCells != second.Stats.DPCells || first.Stats.Subsets != second.Stats.Subsets {
+		t.Errorf("cached discover differs: %+v vs %+v", first, second)
+	}
+}
+
+// TestDiscoverMatchesLibrary: for workers 1 and 4, the served result —
+// spans, distance bits, effort counters — equals the direct uncached
+// library call.
+func TestDiscoverMatchesLibrary(t *testing.T) {
+	ts, _ := harness(t)
+	tr := fixture(t, 3, 200)
+	id := upload(t, ts, tr)
+
+	for _, workers := range []int{1, 4} {
+		want, err := group.GTM(tr, 8, 32, &core.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got motifResponse
+		call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 8, Workers: workers}, &got, http.StatusOK)
+		if got.Distance != want.Distance ||
+			got.A != (spanJSON{want.A.Start, want.A.End}) ||
+			got.B != (spanJSON{want.B.Start, want.B.End}) ||
+			got.Stats.Subsets != want.Stats.Subsets ||
+			got.Stats.SubsetsProcessed != want.Stats.SubsetsProcessed ||
+			got.Stats.SubsetsAbandoned != want.Stats.SubsetsAbandoned ||
+			got.Stats.DPCells != want.Stats.DPCells {
+			t.Errorf("workers=%d: served %+v, library %+v", workers, got, want)
+		}
+	}
+}
+
+func TestDiscoverAlgorithmsAgree(t *testing.T) {
+	ts, _ := harness(t)
+	id := upload(t, ts, fixture(t, 4, 160))
+	var ref motifResponse
+	call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 8, Algo: "gtm"}, &ref, http.StatusOK)
+	for _, algo := range []string{"btm", "gtmstar", "brutedp"} {
+		var got motifResponse
+		call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 8, Algo: algo}, &got, http.StatusOK)
+		if got.Distance != ref.Distance {
+			t.Errorf("%s distance %v != gtm %v", algo, got.Distance, ref.Distance)
+		}
+	}
+}
+
+func TestDiscoverPairsAndCacheSharing(t *testing.T) {
+	ts, _ := harness(t)
+	a, b, err := datagen.Pair(datagen.TruckName, datagen.Config{Seed: 7, N: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fixture(t, 5, 120)
+	ids := []store.ID{upload(t, ts, a), upload(t, ts, b), upload(t, ts, c)}
+
+	var pairs []pairResponse
+	call(t, ts, "POST", "/discover/pairs", discoverPairsRequest{IDs: ids, Xi: 6}, &pairs, http.StatusOK)
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Error != "" || p.Motif == nil {
+			t.Fatalf("pair (%d,%d) failed: %s", p.I, p.J, p.Error)
+		}
+	}
+
+	var stats1 serverStats
+	call(t, ts, "GET", "/stats", nil, &stats1, http.StatusOK)
+	var again []pairResponse
+	call(t, ts, "POST", "/discover/pairs", discoverPairsRequest{IDs: ids, Xi: 6}, &again, http.StatusOK)
+	var stats2 serverStats
+	call(t, ts, "GET", "/stats", nil, &stats2, http.StatusOK)
+	if stats2.Built != stats1.Built {
+		t.Errorf("repeated all-pairs built %d new artifacts", stats2.Built-stats1.Built)
+	}
+	for k := range pairs {
+		if again[k].Motif.Distance != pairs[k].Motif.Distance || again[k].Motif.A != pairs[k].Motif.A || again[k].Motif.B != pairs[k].Motif.B {
+			t.Errorf("pair %d changed on the cached run", k)
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts, _ := harness(t)
+	id := upload(t, ts, fixture(t, 6, 200))
+	var results []motifResponse
+	call(t, ts, "POST", "/topk", topkRequest{ID: id, Xi: 8, K: 3}, &results, http.StatusOK)
+	if len(results) == 0 {
+		t.Fatal("no motifs")
+	}
+	for k := 1; k < len(results); k++ {
+		if results[k].Distance < results[k-1].Distance {
+			t.Errorf("top-k not ascending at %d", k)
+		}
+	}
+}
+
+func TestKNNJoinCluster(t *testing.T) {
+	ts, _ := harness(t)
+	var ids []store.ID
+	for seed := int64(1); seed <= 4; seed++ {
+		tr, err := datagen.Dataset(datagen.TruckName, datagen.Config{Seed: seed, N: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, upload(t, ts, tr))
+	}
+
+	var knnOut knnResponse
+	call(t, ts, "POST", "/knn", knnRequest{Query: ids[0], K: 2}, &knnOut, http.StatusOK)
+	if len(knnOut.Neighbors) != 2 {
+		t.Fatalf("knn returned %d neighbors", len(knnOut.Neighbors))
+	}
+	for _, nb := range knnOut.Neighbors {
+		if nb.ID == ids[0] {
+			t.Error("query trajectory returned as its own neighbor")
+		}
+	}
+
+	var joinOut joinResponse
+	call(t, ts, "POST", "/join", joinRequest{Eps: 1e9}, &joinOut, http.StatusOK)
+	if len(joinOut.Pairs) != 6 { // C(4,2) under an everything-matches radius
+		t.Errorf("join reported %d pairs, want 6", len(joinOut.Pairs))
+	}
+
+	var clusterOut []clusterResponse
+	call(t, ts, "POST", "/cluster", clusterRequest{ID: ids[0], Window: 20, Eps: 1e9}, &clusterOut, http.StatusOK)
+	if len(clusterOut) == 0 {
+		t.Error("no clusters under an everything-matches radius")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := harness(t)
+	id := upload(t, ts, fixture(t, 8, 60))
+
+	call(t, ts, "POST", "/discover", discoverRequest{ID: "nope", Xi: 8}, nil, http.StatusNotFound)
+	call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 8, Algo: "quantum"}, nil, http.StatusBadRequest)
+	// xi too large for the trajectory: infeasible, the client's fault.
+	call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 500}, nil, http.StatusUnprocessableEntity)
+	call(t, ts, "POST", "/discover/pairs", discoverPairsRequest{IDs: []store.ID{id}, Xi: 8}, nil, http.StatusBadRequest)
+	call(t, ts, "POST", "/knn", knnRequest{Query: id, K: 0}, nil, http.StatusBadRequest)
+	// Parameter validation: client mistakes are 4xx, never 500.
+	call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: -1}, nil, http.StatusBadRequest)
+	call(t, ts, "POST", "/topk", topkRequest{ID: id, Xi: 8, K: 0}, nil, http.StatusBadRequest)
+	call(t, ts, "POST", "/topk", topkRequest{ID: id, Xi: -1, K: 2}, nil, http.StatusBadRequest)
+
+	var health map[string]any
+	call(t, ts, "GET", "/healthz", nil, &health, http.StatusOK)
+	if health["ok"] != true {
+		t.Errorf("healthz: %v", health)
+	}
+
+	// Method mismatch on a registered pattern.
+	resp, err := http.Get(ts.URL + "/discover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /discover = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBodyCap: a request body over MaxBodyBytes fails the decode with a
+// 400 instead of being slurped into memory.
+func TestBodyCap(t *testing.T) {
+	srv := New(store.New(nil), &Options{Workers: 1, MaxBodyBytes: 512})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	big := trajectoryRequest{Points: make([][2]float64, 200)} // ~2 KB encoded
+	for k := range big.Points {
+		big.Points[k] = [2]float64{1, float64(k) / 1000}
+	}
+	call(t, ts, "POST", "/trajectories", big, nil, http.StatusBadRequest)
+
+	small := trajectoryRequest{Points: [][2]float64{{1, 2}, {1.1, 2.1}}}
+	call(t, ts, "POST", "/trajectories", small, nil, http.StatusOK)
+}
+
+// TestConcurrentDiscover hammers one trajectory from several goroutines:
+// responses must all be identical and the run must be race-clean (the CI
+// race job executes this test under -race).
+func TestConcurrentDiscover(t *testing.T) {
+	ts, _ := harness(t)
+	id := upload(t, ts, fixture(t, 9, 160))
+
+	var ref motifResponse
+	call(t, ts, "POST", "/discover", discoverRequest{ID: id, Xi: 8}, &ref, http.StatusOK)
+
+	const parallel = 8
+	results := make([]motifResponse, parallel)
+	errs := make(chan error, parallel)
+	for k := 0; k < parallel; k++ {
+		go func(k int) {
+			b, _ := json.Marshal(discoverRequest{ID: id, Xi: 8})
+			resp, err := http.Post(ts.URL+"/discover", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs <- json.NewDecoder(resp.Body).Decode(&results[k])
+		}(k)
+	}
+	for k := 0; k < parallel; k++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := range results {
+		if results[k].Distance != ref.Distance || results[k].A != ref.A || results[k].B != ref.B {
+			t.Errorf("concurrent response %d differs: %+v vs %+v", k, results[k], ref)
+		}
+	}
+}

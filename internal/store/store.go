@@ -1,0 +1,433 @@
+// Package store implements the serve-mode trajectory store: a registry of
+// trajectories keyed by content hash that memoizes the search artifacts
+// the paper's algorithms precompute on every invocation — per-trajectory
+// self-distance grids and relaxed bound tables, and per-pair cross grids
+// — under one LRU cache with a byte-size budget.
+//
+// The store implements core.ArtifactSource, so any search handed a store
+// through core.Options.Artifacts transparently skips grid construction
+// when the artifacts are resident (ROADMAP: "distance-matrix
+// caching/reuse" and the serve-mode prerequisite for the "millions of
+// users" north star). Cached artifacts are bit-identical to a fresh
+// computation — dmatrix's constructors are bit-identical for every
+// worker count, and bound tables are pure functions of the grid — so
+// cached and uncached searches return byte-identical results, spans,
+// distance bits and effort counters alike (GridRebuildsAvoided, which
+// counts the reuse itself, is the one deliberate exception).
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"trajmotif/internal/bounds"
+	"trajmotif/internal/core"
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// ID identifies a stored trajectory by content: the hex SHA-256 of its
+// points and timestamps. Adding the same trajectory twice yields the
+// same ID (and stores it once).
+type ID string
+
+// DefaultCacheBytes is the artifact-cache budget when Options.CacheBytes
+// is zero: 256 MiB, roughly 160 self grids at n = 2000 points.
+const DefaultCacheBytes = 256 << 20
+
+// Options configures a store.
+type Options struct {
+	// Dist is the ground distance all cached artifacts are computed
+	// under; nil selects geo.Haversine. A search routed through the
+	// store with a different Options.Dist bypasses the cache (detected
+	// by function identity plus probe evaluations; see distMatches)
+	// rather than returning poisoned artifacts.
+	Dist geo.DistanceFunc
+	// CacheBytes budgets the artifact cache: least-recently-used
+	// artifacts are evicted once the resident set exceeds it. Zero
+	// selects DefaultCacheBytes; negative disables caching entirely
+	// (every request computes, nothing is retained).
+	CacheBytes int64
+}
+
+// Stats is a snapshot of the store's registry and cache state.
+type Stats struct {
+	// Trajectories currently registered.
+	Trajectories int
+	// Artifacts resident in the cache and their total byte footprint.
+	Artifacts  int
+	CacheBytes int64
+	// CacheBudget is the configured byte budget (<= 0: caching off).
+	CacheBudget int64
+	// Built counts artifact constructions performed (cache misses plus
+	// uncacheable requests); Reused counts constructions skipped because
+	// the artifact was resident — the cross-request extension of
+	// core.Stats.GridRebuildsAvoided. Evicted counts artifacts dropped
+	// by the LRU budget.
+	Built, Reused, Evicted int64
+}
+
+// GridRebuildsAvoided returns the cumulative constructions skipped by
+// reuse, mirroring the per-search counter's name.
+func (s Stats) GridRebuildsAvoided() int64 { return s.Reused }
+
+// artifactKind discriminates the cache key space.
+type artifactKind uint8
+
+const (
+	kindSelfGrid artifactKind = iota
+	kindCrossGrid
+	kindSelfBounds
+	kindCrossBounds
+)
+
+// artifactKey identifies one memoized artifact. b is empty for self
+// artifacts; xi is zero for grids (bound tables depend on it).
+type artifactKey struct {
+	kind artifactKind
+	a, b ID
+	xi   int
+}
+
+// entry is one cache resident.
+type entry struct {
+	key   artifactKey
+	val   any
+	bytes int64
+	elem  *list.Element
+}
+
+// dataKey memoizes content hashes by slice identity: same backing array,
+// start and length imply same content for the immutable slices the store
+// sees. It lets repeated searches over the same trajectory skip
+// re-hashing without risking collisions.
+type dataKey struct {
+	ptr *geo.Point
+	n   int
+}
+
+// Store is a content-addressed trajectory registry with a memoizing
+// artifact cache. It is safe for concurrent use; artifact construction
+// happens outside the lock, so concurrent identical misses may compute
+// the same artifact twice (one result is retained).
+type Store struct {
+	df     geo.DistanceFunc
+	dfID   uintptr
+	budget int64
+
+	mu       sync.Mutex
+	trajs    map[ID]*traj.Trajectory
+	order    []ID // insertion order, for deterministic listings
+	hashMemo map[dataKey]ID
+
+	cache map[artifactKey]*entry
+	lru   *list.List // front = most recently used
+	bytes int64
+
+	built, reused, evicted int64
+}
+
+// New creates an empty store. opt may be nil for defaults (haversine,
+// DefaultCacheBytes).
+func New(opt *Options) *Store {
+	df := geo.Haversine
+	var budget int64 = DefaultCacheBytes
+	if opt != nil {
+		if opt.Dist != nil {
+			df = opt.Dist
+		}
+		if opt.CacheBytes > 0 {
+			budget = opt.CacheBytes
+		} else if opt.CacheBytes < 0 {
+			budget = 0
+		}
+	}
+	return &Store{
+		df:       df,
+		dfID:     reflect.ValueOf(df).Pointer(),
+		budget:   budget,
+		trajs:    make(map[ID]*traj.Trajectory),
+		hashMemo: make(map[dataKey]ID),
+		cache:    make(map[artifactKey]*entry),
+		lru:      list.New(),
+	}
+}
+
+// hashPoints returns the content ID of a point sequence. Artifact keys
+// use it directly (grids depend only on points, never on timestamps).
+func hashPoints(pts []geo.Point) ID {
+	h := sha256.New()
+	var buf [16]byte
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.Lat))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Lng))
+		h.Write(buf[:])
+	}
+	return ID(hex.EncodeToString(h.Sum(nil)))
+}
+
+// hashTrajectory extends hashPoints with the timestamps, so trajectories
+// with equal geometry but different times get distinct registry IDs.
+func hashTrajectory(t *traj.Trajectory) ID {
+	if t.Times == nil {
+		return hashPoints(t.Points)
+	}
+	h := sha256.New()
+	var buf [16]byte
+	for k, p := range t.Points {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.Lat))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Lng))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:8], uint64(t.Times[k].UnixNano()))
+		h.Write(buf[:8])
+	}
+	return ID(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Add registers a trajectory and returns its content ID. created is
+// false when an identical trajectory was already present (the existing
+// copy is kept, so cached artifacts remain valid).
+func (s *Store) Add(t *traj.Trajectory) (id ID, created bool, err error) {
+	if t == nil || t.Len() == 0 {
+		return "", false, fmt.Errorf("store: nil or empty trajectory")
+	}
+	id = hashTrajectory(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trajs[id]; ok {
+		return id, false, nil
+	}
+	s.trajs[id] = t
+	s.order = append(s.order, id)
+	s.memoLocked(t.Points)
+	return id, true, nil
+}
+
+// memoLocked records the points→content-ID association for a slice the
+// store owns (a registered trajectory). Only Add calls it: memoizing
+// transient caller slices would pin their backing arrays outside the
+// cache budget for the store's lifetime.
+func (s *Store) memoLocked(pts []geo.Point) ID {
+	k := dataKey{ptr: &pts[0], n: len(pts)}
+	if id, ok := s.hashMemo[k]; ok {
+		return id
+	}
+	id := hashPoints(pts)
+	s.hashMemo[k] = id
+	return id
+}
+
+// idForLocked resolves a point slice to its content ID: a memo hit for
+// registered trajectories, a fresh hash (O(n), trivial next to the
+// O(n²) grids it keys) for transient slices — which are deliberately not
+// memoized, so the store never retains references to caller data.
+func (s *Store) idForLocked(pts []geo.Point) ID {
+	if id, ok := s.hashMemo[dataKey{ptr: &pts[0], n: len(pts)}]; ok {
+		return id
+	}
+	return hashPoints(pts)
+}
+
+// Get returns a registered trajectory.
+func (s *Store) Get(id ID) (*traj.Trajectory, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.trajs[id]
+	return t, ok
+}
+
+// Len returns the number of registered trajectories.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trajs)
+}
+
+// IDs lists the registered trajectories in insertion order.
+func (s *Store) IDs() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ID(nil), s.order...)
+}
+
+// Dist returns the ground distance the store's artifacts are computed
+// under.
+func (s *Store) Dist() geo.DistanceFunc { return s.df }
+
+// Stats snapshots the registry and cache state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Trajectories: len(s.trajs),
+		Artifacts:    len(s.cache),
+		CacheBytes:   s.bytes,
+		CacheBudget:  s.budget,
+		Built:        s.built,
+		Reused:       s.reused,
+		Evicted:      s.evicted,
+	}
+}
+
+// Artifacts implements core.ArtifactSource: it serves the ground-distance
+// grid (and, when requested, the relaxed bound tables) for the given
+// point sequences from the cache, computing and inserting on a miss. A
+// request under a different ground distance than the store's bypasses
+// the cache entirely (correct, just uncached). A swapped cross pair is
+// served by transposing the cached grid — cheaper than re-evaluating
+// every ground distance — and the transpose is cached under its own key.
+func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Relaxed, int) {
+	if !s.distMatches(req) || s.budget <= 0 {
+		return s.compute(req)
+	}
+
+	s.mu.Lock()
+	aid := s.idForLocked(req.A)
+	var bid ID
+	if !req.Self {
+		bid = s.idForLocked(req.B)
+	}
+	gk, bk := keysFor(req, aid, bid)
+
+	reused := 0
+	var g *dmatrix.Matrix
+	var rb *bounds.Relaxed
+	if e, ok := s.cache[gk]; ok {
+		g = e.val.(*dmatrix.Matrix)
+		s.lru.MoveToFront(e.elem)
+		s.reused++
+		reused++
+	}
+	if req.WithBounds {
+		if e, ok := s.cache[bk]; ok {
+			rb = e.val.(*bounds.Relaxed)
+			s.lru.MoveToFront(e.elem)
+			s.reused++
+			reused++
+		}
+	}
+	// Swapped-pair fallback: the (B, A) grid transposes into the (A, B)
+	// grid without touching the ground distance.
+	var swapped *dmatrix.Matrix
+	if g == nil && !req.Self {
+		if e, ok := s.cache[artifactKey{kind: kindCrossGrid, a: bid, b: aid}]; ok {
+			swapped = e.val.(*dmatrix.Matrix)
+			s.lru.MoveToFront(e.elem)
+		}
+	}
+	s.mu.Unlock()
+
+	// Build what is missing outside the lock.
+	builtGrid, builtBounds := false, false
+	if g == nil {
+		if swapped != nil {
+			g = swapped.Transposed()
+		} else if req.Self {
+			g = dmatrix.ComputeSelfParallel(req.A, s.df, req.Workers)
+		} else {
+			g = dmatrix.ComputeCrossParallel(req.A, req.B, s.df, req.Workers)
+		}
+		builtGrid = true
+	}
+	if req.WithBounds && rb == nil {
+		rb = bounds.NewRelaxed(g, bounds.PointParams(req.Xi, req.Self))
+		builtBounds = true
+	}
+
+	s.mu.Lock()
+	if builtGrid {
+		s.built++
+		s.insertLocked(gk, g, g.Bytes())
+	}
+	if builtBounds {
+		s.built++
+		s.insertLocked(bk, rb, rb.Bytes())
+	}
+	s.mu.Unlock()
+	return g, rb, reused
+}
+
+// distMatches reports whether the request's ground distance is the
+// store's. Function values cannot be compared in Go, so this is a
+// two-stage heuristic: the code pointers must match, and because
+// closures created from one function literal share a code pointer
+// (different captures, same code), the two functions must also agree
+// bit-for-bit on probe pairs drawn from the request's own points. A
+// function passing both stages and still differing somewhere else is
+// deliberately pathological; top-level functions like geo.Haversine are
+// identified exactly.
+func (s *Store) distMatches(req core.ArtifactRequest) bool {
+	if reflect.ValueOf(req.Dist).Pointer() != s.dfID {
+		return false
+	}
+	probe := func(p, q geo.Point) bool { return req.Dist(p, q) == s.df(p, q) }
+	a := req.A
+	if !probe(a[0], a[len(a)-1]) {
+		return false
+	}
+	if len(a) > 2 && !probe(a[1], a[len(a)/2]) {
+		return false
+	}
+	return true
+}
+
+// compute builds the requested artifacts without touching the cache (the
+// distance-function-mismatch and caching-disabled paths), delegating to
+// core's default always-compute source so the bypass path can never
+// diverge from the uncached construction recipe.
+func (s *Store) compute(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Relaxed, int) {
+	g, rb, _ := core.ResolveArtifacts(nil).Artifacts(req)
+	s.mu.Lock()
+	s.built++
+	if req.WithBounds {
+		s.built++
+	}
+	s.mu.Unlock()
+	return g, rb, 0
+}
+
+func keysFor(req core.ArtifactRequest, aid, bid ID) (grid, bnds artifactKey) {
+	if req.Self {
+		return artifactKey{kind: kindSelfGrid, a: aid},
+			artifactKey{kind: kindSelfBounds, a: aid, xi: req.Xi}
+	}
+	return artifactKey{kind: kindCrossGrid, a: aid, b: bid},
+		artifactKey{kind: kindCrossBounds, a: aid, b: bid, xi: req.Xi}
+}
+
+// insertLocked adds an artifact and evicts from the LRU tail until the
+// resident set fits the budget. An artifact larger than the whole budget
+// is not cached at all (inserting it would evict everything for nothing).
+func (s *Store) insertLocked(k artifactKey, val any, bytes int64) {
+	if bytes > s.budget {
+		return
+	}
+	if e, ok := s.cache[k]; ok {
+		// A concurrent identical miss beat us to the insert; keep the
+		// resident value (both are bit-identical).
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: k, val: val, bytes: bytes}
+	e.elem = s.lru.PushFront(e)
+	s.cache[k] = e
+	s.bytes += bytes
+	for s.bytes > s.budget {
+		tail := s.lru.Back()
+		if tail == nil || tail == e.elem {
+			break
+		}
+		victim := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.cache, victim.key)
+		s.bytes -= victim.bytes
+		s.evicted++
+	}
+}

@@ -1,0 +1,351 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/group"
+	"trajmotif/internal/traj"
+)
+
+func fixture(t *testing.T, seed int64, n int) *traj.Trajectory {
+	t.Helper()
+	tr, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: seed, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAddGetDedup(t *testing.T) {
+	s := New(nil)
+	tr := fixture(t, 1, 50)
+	id, created, err := s.Add(tr)
+	if err != nil || !created {
+		t.Fatalf("Add: created=%v err=%v", created, err)
+	}
+	id2, created2, err := s.Add(tr.Clip(tr.Len())) // deep copy, same content
+	if err != nil || created2 {
+		t.Fatalf("duplicate Add: created=%v err=%v", created2, err)
+	}
+	if id != id2 {
+		t.Fatalf("content hash not stable: %s vs %s", id, id2)
+	}
+	got, ok := s.Get(id)
+	if !ok || got.Len() != tr.Len() {
+		t.Fatalf("Get(%s) = %v, %v", id, got, ok)
+	}
+	if s.Len() != 1 || len(s.IDs()) != 1 {
+		t.Fatalf("Len=%d IDs=%v, want one entry", s.Len(), s.IDs())
+	}
+	if _, _, err := s.Add(nil); err == nil {
+		t.Error("nil Add should error")
+	}
+
+	// Different timestamps, same geometry: distinct registry entries.
+	timed := tr.Clip(tr.Len())
+	timed.Times = nil
+	other, _, err := s.Add(timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Times != nil && other == id {
+		t.Error("untimed copy deduped against timed original")
+	}
+}
+
+// TestRepeatSearchSkipsGrids is the core serve-mode guarantee: the second
+// identical search through the store rebuilds nothing, and the reuse is
+// visible both per-search (GridRebuildsAvoided) and store-wide.
+func TestRepeatSearchSkipsGrids(t *testing.T) {
+	s := New(nil)
+	tr := fixture(t, 2, 200)
+	if _, _, err := s.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	opt := &core.Options{Workers: 1, Artifacts: s}
+
+	r1, err := group.GTM(tr, 8, 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.GridRebuildsAvoided != 0 {
+		t.Errorf("cold search claims reuse: %d", r1.Stats.GridRebuildsAvoided)
+	}
+	builtAfterFirst := s.Stats().Built
+
+	r2, err := group.GTM(tr, 8, 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.GridRebuildsAvoided != 2 { // grid + bound table
+		t.Errorf("warm search GridRebuildsAvoided = %d, want 2", r2.Stats.GridRebuildsAvoided)
+	}
+	st := s.Stats()
+	if st.Built != builtAfterFirst {
+		t.Errorf("warm search built %d new artifacts", st.Built-builtAfterFirst)
+	}
+	if st.Reused != 2 {
+		t.Errorf("store Reused = %d, want 2", st.Reused)
+	}
+	if r1.Distance != r2.Distance || r1.A != r2.A || r1.B != r2.B {
+		t.Errorf("cached result differs: %v vs %v", r1, r2)
+	}
+}
+
+// TestCachedByteIdentical extends the PR 3 determinism suite to cached
+// runs: for workers 1 and 4, a search fed from a cold store and from a
+// warm store must be byte-identical — spans, distance bits, and every
+// effort counter — to the plain uncached call. Only wall-clock durations
+// and GridRebuildsAvoided (which counts the reuse itself) are scrubbed.
+func TestCachedByteIdentical(t *testing.T) {
+	tr := fixture(t, 3, 160)
+	ca, cb, err := datagen.Pair(datagen.TruckName, datagen.Config{Seed: 7, N: 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := 8
+
+	scrubCore := func(st *core.Stats) {
+		st.Precompute, st.Search = 0, 0
+		st.GridRebuildsAvoided = 0
+	}
+	scrub := func(r any) any {
+		switch v := r.(type) {
+		case *core.Result:
+			scrubCore(&v.Stats)
+			return v
+		case *group.Result:
+			scrubCore(&v.Stats)
+			scrubCore(&v.Group.Stats)
+			return v
+		case []core.Result:
+			for k := range v {
+				scrubCore(&v[k].Stats)
+			}
+			return v
+		}
+		t.Fatalf("unhandled result type %T", r)
+		return nil
+	}
+
+	cases := []struct {
+		name string
+		run  func(opt *core.Options) (any, error)
+	}{
+		{"gtm/self", func(o *core.Options) (any, error) { return group.GTM(tr, xi, 16, o) }},
+		{"btm/self", func(o *core.Options) (any, error) { return core.BTM(tr, xi, o) }},
+		{"btm/cross", func(o *core.Options) (any, error) { return core.BTMCross(ca, cb, 6, o) }},
+		{"btm/cross/swapped", func(o *core.Options) (any, error) { return core.BTMCross(cb, ca, 6, o) }},
+		{"brutedp/self", func(o *core.Options) (any, error) { return core.BruteDP(tr.Clip(100), 6, o) }},
+		{"topk3/self", func(o *core.Options) (any, error) { return core.TopK(tr, xi, 3, o) }},
+		{"gtm/eps0.4", func(o *core.Options) (any, error) {
+			o2 := *o
+			o2.Epsilon = 0.4
+			return group.GTM(tr, xi, 16, &o2)
+		}},
+	}
+
+	for _, workers := range []int{1, 4} {
+		st := New(nil) // one store across all cases: later cases hit warm entries
+		for _, tc := range cases {
+			plain, err := tc.run(&core.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s/w%d plain: %v", tc.name, workers, err)
+			}
+			cold, err := tc.run(&core.Options{Workers: workers, Artifacts: New(nil)})
+			if err != nil {
+				t.Fatalf("%s/w%d cold: %v", tc.name, workers, err)
+			}
+			warm1, err := tc.run(&core.Options{Workers: workers, Artifacts: st})
+			if err != nil {
+				t.Fatalf("%s/w%d warm1: %v", tc.name, workers, err)
+			}
+			warm2, err := tc.run(&core.Options{Workers: workers, Artifacts: st})
+			if err != nil {
+				t.Fatalf("%s/w%d warm2: %v", tc.name, workers, err)
+			}
+			want := scrub(plain)
+			for label, got := range map[string]any{"cold": scrub(cold), "warm1": scrub(warm1), "warm2": scrub(warm2)} {
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/w%d %s differs from uncached:\nwant %+v\ngot  %+v", tc.name, workers, label, want, got)
+				}
+			}
+		}
+		if s := st.Stats(); s.Reused == 0 {
+			t.Errorf("w%d: warm store never reused an artifact: %+v", workers, s)
+		}
+	}
+}
+
+// TestEviction: a budget big enough for exactly one self grid keeps the
+// resident set within budget and evicts the older artifact, while every
+// search still returns the uncached answer.
+func TestEviction(t *testing.T) {
+	a := fixture(t, 4, 120)
+	b := fixture(t, 5, 120)
+	// One 120x120 grid is 115200 bytes; bound tables a few KB. Budget for
+	// roughly one grid + table, not two.
+	s := New(&Options{CacheBytes: 130_000})
+	opt := &core.Options{Workers: 1, Artifacts: s}
+
+	if _, err := core.BTM(a, 8, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.BTM(b, 8, opt); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheBytes > st.CacheBudget {
+		t.Errorf("resident %d exceeds budget %d", st.CacheBytes, st.CacheBudget)
+	}
+	if st.Evicted == 0 {
+		t.Errorf("no eviction under a one-grid budget: %+v", st)
+	}
+
+	// The survivor is b's artifacts: a third search on b reuses, on a
+	// rebuilds.
+	r, err := core.BTM(b, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.GridRebuildsAvoided == 0 {
+		t.Error("most recent trajectory was evicted")
+	}
+}
+
+// TestCacheDisabled: a negative budget turns the store into a pure
+// pass-through that still returns correct artifacts.
+func TestCacheDisabled(t *testing.T) {
+	tr := fixture(t, 6, 120)
+	s := New(&Options{CacheBytes: -1})
+	opt := &core.Options{Workers: 1, Artifacts: s}
+	if _, err := core.BTM(tr, 8, opt); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.BTM(tr, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.GridRebuildsAvoided != 0 {
+		t.Error("disabled cache claims reuse")
+	}
+	if st := s.Stats(); st.Artifacts != 0 || st.CacheBytes != 0 {
+		t.Errorf("disabled cache retained artifacts: %+v", st)
+	}
+}
+
+// TestDistMismatchBypass: a search under a different ground distance than
+// the store's must neither read nor poison the cache, and must still be
+// correct.
+func TestDistMismatchBypass(t *testing.T) {
+	tr := fixture(t, 7, 120)
+	s := New(nil) // haversine
+	// Warm the haversine entries.
+	if _, err := core.BTM(tr, 8, &core.Options{Workers: 1, Artifacts: s}); err != nil {
+		t.Fatal(err)
+	}
+	artifacts := s.Stats().Artifacts
+
+	opt := &core.Options{Workers: 1, Artifacts: s, Dist: geo.Euclidean}
+	got, err := core.BTM(tr, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.BTM(tr, 8, &core.Options{Workers: 1, Dist: geo.Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distance != want.Distance || got.A != want.A || got.B != want.B {
+		t.Errorf("mismatched-dist search wrong: %v vs %v", got, want)
+	}
+	if got.Stats.GridRebuildsAvoided != 0 {
+		t.Error("mismatched-dist search claims reuse")
+	}
+	if st := s.Stats(); st.Artifacts != artifacts {
+		t.Errorf("mismatched-dist search polluted the cache: %+v", st)
+	}
+}
+
+// TestClosureDistBypass: closures created from the same function literal
+// share a code pointer, so identity alone cannot tell them apart; the
+// probe stage of distMatches must catch a different capture and bypass
+// the cache instead of serving artifacts built under the wrong distance.
+func TestClosureDistBypass(t *testing.T) {
+	scaled := func(f float64) geo.DistanceFunc {
+		return func(a, b geo.Point) float64 { return f * geo.Euclidean(a, b) }
+	}
+	tr := fixture(t, 10, 120)
+	s := New(&Options{Dist: scaled(1)})
+	if _, err := core.BTM(tr, 8, &core.Options{Workers: 1, Artifacts: s, Dist: scaled(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := core.BTM(tr, 8, &core.Options{Workers: 1, Artifacts: s, Dist: scaled(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.BTM(tr, 8, &core.Options{Workers: 1, Dist: scaled(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distance != want.Distance {
+		t.Errorf("same-code-pointer closure served cached artifacts: %v, want %v", got.Distance, want.Distance)
+	}
+	if got.Stats.GridRebuildsAvoided != 0 {
+		t.Error("mismatched closure claims reuse")
+	}
+}
+
+// TestTopKReuseChargedOnce: an ArtifactSource cache hit happens once per
+// TopK call and must be credited to the first round only, not replayed
+// into every round's counter.
+func TestTopKReuseChargedOnce(t *testing.T) {
+	tr := fixture(t, 11, 200)
+	s := New(nil)
+	opt := &core.Options{Workers: 1, Artifacts: s}
+	if _, err := core.BTM(tr, 8, opt); err != nil { // warm grid + bounds
+		t.Fatal(err)
+	}
+	results, err := core.TopK(tr, 8, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Stats.GridRebuildsAvoided != 2 {
+		t.Errorf("round 1 GridRebuildsAvoided = %d, want 2 (grid + bounds)", results[0].Stats.GridRebuildsAvoided)
+	}
+	for r := 1; r < len(results); r++ {
+		if got := results[r].Stats.GridRebuildsAvoided; got != int64(r) {
+			t.Errorf("round %d GridRebuildsAvoided = %d, want %d (round reuse only)", r+1, got, r)
+		}
+	}
+}
+
+// TestTransposeReuse: requesting the swapped pair serves the grid by
+// transposition; the result must be bit-identical to a fresh build.
+func TestTransposeReuse(t *testing.T) {
+	ca, cb, err := datagen.Pair(datagen.TruckName, datagen.Config{Seed: 9, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nil)
+	opt := &core.Options{Workers: 1, Artifacts: s}
+	if _, err := core.BTMCross(ca, cb, 6, opt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.BTMCross(cb, ca, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.BTMCross(cb, ca, 6, &core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distance != want.Distance || got.A != want.A || got.B != want.B ||
+		got.Stats.DPCells != want.Stats.DPCells {
+		t.Errorf("transpose-served search differs: %+v vs %+v", got, want)
+	}
+}

@@ -1,0 +1,199 @@
+package trajio
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// gridTrajectory generates a random trajectory whose coordinates lie on
+// the writers' decimal grid (decimals fractional digits) and whose
+// timestamps, when timed, are whole seconds — so a write→read round trip
+// can be asserted as an exact identity rather than a tolerance.
+func gridTrajectory(r *rand.Rand, n int, decimals int, timed bool) *traj.Trajectory {
+	scale := 1.0
+	for i := 0; i < decimals; i++ {
+		scale *= 10
+	}
+	// Normalize each coordinate through format→parse so it is exactly the
+	// value the writer's %.Nf emission will produce.
+	norm := func(v float64) float64 {
+		f, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', decimals, 64), 64)
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		lat := float64(r.Intn(int(160*scale)))/scale - 80
+		lng := float64(r.Intn(int(320*scale)))/scale - 160
+		pts[i] = geo.Point{Lat: norm(lat), Lng: norm(lng)}
+	}
+	var times []time.Time
+	if timed {
+		times = make([]time.Time, n)
+		ts := time.Date(2009, 10, 11, 14, 0, 0, 0, time.UTC).Add(time.Duration(r.Intn(1000)) * time.Second)
+		for i := range times {
+			times[i] = ts
+			ts = ts.Add(time.Duration(1+r.Intn(90)) * time.Second)
+		}
+	}
+	tr, err := traj.New(pts, times)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// assertIdentical fails unless the round-tripped trajectory reproduces
+// points and Times exactly, including the timed/untimed distinction.
+func assertIdentical(t *testing.T, label string, orig, back *traj.Trajectory) {
+	t.Helper()
+	if back.Len() != orig.Len() {
+		t.Fatalf("%s: length %d -> %d", label, orig.Len(), back.Len())
+	}
+	for k := range orig.Points {
+		if orig.Points[k] != back.Points[k] {
+			t.Fatalf("%s: point %d changed: %v -> %v", label, k, orig.Points[k], back.Points[k])
+		}
+	}
+	if (orig.Times == nil) != (back.Times == nil) {
+		t.Fatalf("%s: timedness changed: %v -> %v", label, orig.Times != nil, back.Times != nil)
+	}
+	for k := range orig.Times {
+		if !orig.Times[k].Equal(back.Times[k]) {
+			t.Fatalf("%s: time %d changed: %v -> %v", label, k, orig.Times[k], back.Times[k])
+		}
+	}
+}
+
+// TestCSVRoundTripProperty: WriteCSV→ReadCSV is the identity on
+// trajectories representable in the CSV format (7-decimal coordinates,
+// whole-second timestamps), timed and untimed.
+func TestCSVRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		orig := gridTrajectory(r, 1+r.Intn(60), 7, trial%2 == 0)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertIdentical(t, "csv", orig, back)
+	}
+}
+
+// TestPLTRoundTripProperty: WritePLT→ReadPLT is the identity on
+// trajectories representable in the PLT format (6-decimal coordinates,
+// whole-second timestamps), timed and untimed. The untimed leg is the
+// regression for the OLE-epoch fabrication bug: an untimed trajectory
+// used to come back timed, every timestamp equal to 1899-12-30.
+func TestPLTRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		orig := gridTrajectory(r, 1+r.Intn(60), 6, trial%2 == 0)
+		var buf bytes.Buffer
+		if err := WritePLT(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPLT(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertIdentical(t, "plt", orig, back)
+	}
+}
+
+// TestReadCSVFractionalSeconds: fractional unix timestamps parse to
+// sub-second precision (the read side is finer than the write side, which
+// truncates to whole seconds).
+func TestReadCSVFractionalSeconds(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("39.9,116.4,1000.25\n39.901,116.401,1010.75\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Times == nil {
+		t.Fatal("fractional-second csv parsed as untimed")
+	}
+	want0 := time.Unix(1000, 250_000_000).UTC()
+	want1 := time.Unix(1010, 750_000_000).UTC()
+	if !tr.Times[0].Equal(want0) || !tr.Times[1].Equal(want1) {
+		t.Fatalf("times = %v, %v; want %v, %v", tr.Times[0], tr.Times[1], want0, want1)
+	}
+}
+
+// TestReadCSVLeadingNoise is the regression for the header-detection bug:
+// header recognition fired only on line == 1, so a blank line or a UTF-8
+// BOM before the header made the parse fail with "bad latitude".
+func TestReadCSVLeadingNoise(t *testing.T) {
+	cases := map[string]string{
+		"blank line before header":  "\nlat,lng\n39.9,116.4\n40.0,116.5\n",
+		"blank lines before header": "\n\n\nlat,lng\n39.9,116.4\n40.0,116.5\n",
+		"bom before header":         "\uFEFFlat,lng\n39.9,116.4\n40.0,116.5\n",
+		"bom and blank line":        "\uFEFF\n\nlat,lng\n39.9,116.4\n40.0,116.5\n",
+		"bom before data":           "\uFEFF39.9,116.4\n40.0,116.5\n",
+		"one-field header":          "time\n39.9,116.4\n40.0,116.5\n",
+	}
+	for name, in := range cases {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tr.Len() != 2 || tr.Points[0].Lat != 39.9 || tr.Points[1].Lng != 116.5 {
+			t.Errorf("%s: parsed %d points %v", name, tr.Len(), tr.Points)
+		}
+	}
+}
+
+// TestReadCSVHeaderOnlyFirstRow: the header tolerance covers only the
+// first non-empty row; a later unparsable row is still an error, and a
+// file that is only a header has no records.
+func TestReadCSVHeaderOnlyFirstRow(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("39.9,116.4\nnot,a,row\n")); err == nil {
+		t.Error("unparsable second row should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("lat,lng\n")); err == nil {
+		t.Error("header-only file should report no records")
+	}
+}
+
+// TestReadPLTUntimedSentinel pins the epoch-sentinel contract from both
+// directions: all-epoch files parse as untimed, while files with any
+// genuine timestamp keep their times.
+func TestReadPLTUntimedSentinel(t *testing.T) {
+	untimed := traj.FromPoints([]geo.Point{{Lat: 1, Lng: 2}, {Lat: 1.1, Lng: 2.1}})
+	var buf bytes.Buffer
+	if err := WritePLT(&buf, untimed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Times != nil {
+		t.Errorf("untimed plt came back timed: %v", back.Times)
+	}
+
+	// A real (non-epoch) timestamp on any record keeps the file timed.
+	timed := strings.Repeat("h\r\n", 6) +
+		"1.000000,2.000000,0,0,0.0,1899-12-30,00:00:00\r\n" +
+		"1.100000,2.100000,0,0,40097.58,2009-10-11,14:04:30\r\n"
+	got, err := ReadPLT(strings.NewReader(timed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Times == nil {
+		t.Error("file with a genuine timestamp parsed as untimed")
+	}
+}

@@ -31,7 +31,11 @@ var pltEpoch = time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
 //	lat,lng,0,altitude,days,date,time
 //
 // e.g. "39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30".
-// Timestamps are taken from the date and time fields.
+// Timestamps are taken from the date and time fields, with one exception:
+// a file whose every record carries the OLE epoch itself (1899-12-30
+// 00:00:00) is the WritePLT encoding of an untimed trajectory, and is
+// returned with Times == nil rather than fabricating identical bogus
+// timestamps.
 func ReadPLT(r io.Reader) (*traj.Trajectory, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -76,11 +80,28 @@ func ReadPLT(r io.Reader) (*traj.Trajectory, error) {
 	if len(points) == 0 {
 		return nil, errors.New("trajio: plt file contains no records")
 	}
+	// WritePLT stamps every record of an untimed trajectory with the OLE
+	// epoch; recognize that sentinel so the round trip is identity-
+	// preserving. Real GPS logs never carry 1899 timestamps.
+	allEpoch := true
+	for _, ts := range times {
+		if !ts.Equal(pltEpoch) {
+			allEpoch = false
+			break
+		}
+	}
+	if allEpoch {
+		times = nil
+	}
 	return traj.New(points, times)
 }
 
 // WritePLT writes the trajectory in GeoLife .plt format, including the
-// standard six-line preamble.
+// standard six-line preamble. An untimed trajectory is written with every
+// timestamp equal to the OLE epoch (1899-12-30 00:00:00) — the format has
+// no way to omit the time fields — which ReadPLT recognizes as the
+// untimed sentinel, so a write→read round trip reproduces Times == nil
+// instead of fabricating identical bogus timestamps.
 func WritePLT(w io.Writer, t *traj.Trajectory) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprint(bw, "Geolife trajectory\r\nWGS 84\r\nAltitude is in Feet\r\nReserved 3\r\n")
@@ -97,9 +118,11 @@ func WritePLT(w io.Writer, t *traj.Trajectory) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses "lat,lng[,unix_seconds]" records; a first line that does
-// not parse as a number is treated as a header and skipped. Timestamps are
-// kept only if present on every record.
+// ReadCSV parses "lat,lng[,unix_seconds]" records. Leading blank lines
+// and a UTF-8 byte-order mark are skipped, and the first non-empty row
+// whose first field does not parse as a number is treated as a header —
+// so "\uFEFF\n\nlat,lng\n39.9,116.4" parses the same as "39.9,116.4".
+// Timestamps are kept only if present on every record.
 func ReadCSV(r io.Reader) (*traj.Trajectory, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -107,21 +130,29 @@ func ReadCSV(r io.Reader) (*traj.Trajectory, error) {
 	var times []time.Time
 	timed := true
 	line := 0
+	sawRow := false // a non-empty row (header or data) has been consumed
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
+		text := sc.Text()
+		if !sawRow {
+			text = strings.TrimPrefix(text, "\uFEFF")
+		}
+		text = strings.TrimSpace(text)
 		if text == "" {
 			continue
 		}
 		fields := strings.Split(text, ",")
+		if !sawRow {
+			sawRow = true
+			if _, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); err != nil {
+				continue // header row
+			}
+		}
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("trajio: csv line %d: %d fields, want at least 2", line, len(fields))
 		}
 		lat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
 		if err != nil {
-			if line == 1 {
-				continue // header row
-			}
 			return nil, fmt.Errorf("trajio: csv line %d: bad latitude: %w", line, err)
 		}
 		lng, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)

@@ -48,6 +48,8 @@ import (
 	"trajmotif/internal/join"
 	"trajmotif/internal/knn"
 	"trajmotif/internal/prep"
+	"trajmotif/internal/serve"
+	"trajmotif/internal/store"
 	"trajmotif/internal/symbolic"
 	"trajmotif/internal/traj"
 	"trajmotif/internal/trajio"
@@ -348,6 +350,42 @@ type (
 func NearestTrajectories(query *Trajectory, dataset []*Trajectory, k int, opt *KNNOptions) ([]Neighbor, KNNStats, error) {
 	return knn.Nearest(query, dataset, k, opt)
 }
+
+// Serve mode (see internal/store and internal/serve): a long-running
+// trajectory store memoizing search artifacts — self-distance grids,
+// bound tables, per-pair cross grids — under an LRU byte budget, and the
+// HTTP server fronting it. Any search routed through a Store via
+// Options.Artifacts skips grid construction when the artifacts are
+// cached; results stay byte-identical to uncached calls.
+type (
+	// Store is the content-addressed trajectory store with the memoizing
+	// artifact cache. It implements the Options.Artifacts interface.
+	Store = store.Store
+	// StoreOptions configures a Store (ground distance, cache budget).
+	StoreOptions = store.Options
+	// StoreStats snapshots a store's registry and cache counters.
+	StoreStats = store.Stats
+	// TrajectoryID is a stored trajectory's content hash.
+	TrajectoryID = store.ID
+	// Server is the JSON-over-HTTP motif server (an http.Handler).
+	Server = serve.Server
+	// ServerOptions configures a Server.
+	ServerOptions = serve.Options
+	// ArtifactSource supplies precomputed grids and bound tables to a
+	// search (Options.Artifacts); *Store is the memoizing implementation.
+	ArtifactSource = core.ArtifactSource
+)
+
+// DefaultCacheBytes is the default artifact-cache budget of a Store.
+const DefaultCacheBytes = store.DefaultCacheBytes
+
+// NewStore creates a trajectory store; opt may be nil for defaults
+// (haversine ground distance, DefaultCacheBytes budget).
+func NewStore(opt *StoreOptions) *Store { return store.New(opt) }
+
+// NewServer builds the motif server around a store; opt may be nil.
+// Serve it with net/http: http.ListenAndServe(addr, srv).
+func NewServer(st *Store, opt *ServerOptions) *Server { return serve.New(st, opt) }
 
 // WriteGeoJSON exports the trajectory with the motif's two legs
 // highlighted, viewable in any GeoJSON map tool (the paper's Figure 1(b)
