@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke
+.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDFDKernel$$' -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzReadPLT$$' -fuzztime $(FUZZTIME) ./internal/trajio
+	$(GO) test -run '^$$' -fuzz '^FuzzScanner$$' -fuzztime $(FUZZTIME) ./internal/trajio
+
+# Coverage profile over the -short suite (the corpus parity and streaming
+# tests all run under -short), with the per-function summary's total line
+# printed for CI logs. The full profile lands in cover.out for
+# `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # End-to-end serve-mode smoke: build the motifserve binary, start it on a
 # free port, upload a generated trajectory, and assert the second

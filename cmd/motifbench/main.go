@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	motifbench [-exp all|T1|F2|F3|F4|T3|F13..F21] [-scale small|full]
+//	motifbench [-exp all|T1|F2|F3|F4|T3|F13..F21|C1] [-scale small|full]
 //	           [-seed N] [-brute-budget 15s] [-workers N] [-list]
+//	motifbench -exp C1 -corpus /data/geolife   # stream a real corpus dir
 //
 // Every timing experiment cross-checks that all algorithms return the same
 // optimal motif distance, so a full run doubles as an end-to-end exactness
@@ -27,8 +28,10 @@ func main() {
 	scale := flag.String("scale", "small", "experiment sizing: 'small' (minutes) or 'full' (paper sizes, hours)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	budget := flag.Duration("brute-budget", 15*time.Second, "per-run BruteDP budget before truncation")
-	workers := flag.Int("workers", 0, "parallel workers within each timed search; 0 = GOMAXPROCS (results are identical for any count)")
+	workers := flag.Int("workers", 0, "parallel workers within each timed search; 0 = GOMAXPROCS (results are identical for any count). For the C1 corpus experiment it bounds concurrent single-worker searches instead, so 1 is a serial run")
 	cache := flag.Bool("cache", false, "share one artifact store across every run: repeated workloads reuse grids and bound tables (results unchanged; cold-start timings become cache-hit timings)")
+	corpus := flag.String("corpus", "", "trajectory corpus directory for experiment C1 (.plt/.csv/.mcsv/.ndjson/.jsonl, streamed in bounded memory)")
+	corpusXi := flag.Int("corpus-xi", 0, "minimum motif length for -corpus runs; 0 selects the default (8)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -44,6 +47,8 @@ func main() {
 		Seed:        *seed,
 		BruteBudget: *budget,
 		Workers:     *workers,
+		CorpusDir:   *corpus,
+		CorpusXi:    *corpusXi,
 	}
 	if *cache {
 		cfg.Artifacts = trajmotif.NewStore(nil)

@@ -9,6 +9,12 @@
 //	motiffind -xi 50 -algo gtmstar -tau 64 -stats big.plt
 //	motiffind -xi 100 -workers 8 big.plt   # shard the search over 8 cores
 //	motiffind -xi 100 -algo gtm,btm,brutedp -cache -stats walk.plt
+//	motiffind -xi 20 -corpus /data/geolife  # every trajectory under a dir
+//
+// -corpus streams a whole directory tree (.plt, .csv, .ndjson) through
+// GTM discovery with bounded memory: trajectories are read one at a time
+// and released as soon as their search finishes, so corpora far larger
+// than RAM work. Unreadable files are reported and skipped.
 //
 // -algo accepts a comma-separated list; with -cache the queries share one
 // artifact store, so every algorithm after the first reuses the ground-
@@ -35,12 +41,28 @@ func main() {
 	stats := flag.Bool("stats", false, "print search statistics")
 	topk := flag.Int("k", 1, "report the k best mutually disjoint motifs (single trajectory, k>1 uses the BTM engine)")
 	epsilon := flag.Float64("epsilon", 0, "approximation slack: result within (1+ε) of optimal; 0 is exact")
-	workers := flag.Int("workers", 0, "parallel workers within the search; 0 = GOMAXPROCS (results are identical for any count)")
+	workers := flag.Int("workers", 0, "parallel workers within the search; 0 = GOMAXPROCS (results are identical for any count). With -corpus it bounds concurrent single-worker trajectory searches instead (total concurrency; 1 = serial)")
 	cache := flag.Bool("cache", false, "share one artifact store across this invocation's queries (several -algo entries, or -k rounds), reusing grids instead of rebuilding them")
 	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
+	corpus := flag.String("corpus", "", "discover motifs in every trajectory under this directory (streamed; replaces the positional file arguments)")
 	flag.Parse()
 
 	args := flag.Args()
+	if *corpus != "" {
+		if len(args) != 0 {
+			fmt.Fprintln(os.Stderr, "motiffind: -corpus replaces the positional file arguments")
+			os.Exit(2)
+		}
+		// Corpus mode is GTM-per-trajectory only; reject flags it would
+		// otherwise silently ignore rather than let the user believe a
+		// different algorithm or cache configuration ran.
+		if *algo != "gtm" || *topk > 1 || *epsilon != 0 || *cache || *geoOut != "" {
+			fmt.Fprintln(os.Stderr, "motiffind: -corpus supports only -xi, -tau, -workers and -stats (not -algo, -k, -epsilon, -cache, -geojson)")
+			os.Exit(2)
+		}
+		runCorpus(*corpus, *xi, *tau, *workers, *stats)
+		return
+	}
 	if len(args) < 1 || len(args) > 2 {
 		fmt.Fprintln(os.Stderr, "usage: motiffind [flags] trajectory.(plt|csv) [second.(plt|csv)]")
 		flag.PrintDefaults()
@@ -90,6 +112,41 @@ func main() {
 		fatal(f.Close())
 		fmt.Printf("wrote %s (view it in any GeoJSON map tool)\n", *geoOut)
 	}
+}
+
+// runCorpus streams a directory through batch discovery. -workers sizes
+// the across-trajectory pool (each search stays single-worker), so it
+// bounds total concurrency, and at most a pool's worth of trajectories
+// is ever resident.
+func runCorpus(dir string, xi, tau, workers int, stats bool) {
+	src, err := trajmotif.OpenCorpus(dir, nil)
+	fatal(err)
+	start := time.Now()
+	items, err := trajmotif.DiscoverStream(src, xi, &trajmotif.BatchOptions{
+		Tau:     tau,
+		Workers: workers,
+	})
+	fatal(err)
+	paths := src.Paths()
+	found := 0
+	for _, it := range items {
+		if it.Err != nil {
+			fmt.Printf("%s: %v\n", paths[it.Index], it.Err)
+			continue
+		}
+		found++
+		fmt.Printf("%s: DFD %.2f m, legs %v / %v", paths[it.Index], it.Result.Distance, it.Result.A, it.Result.B)
+		if stats {
+			s := it.Result.Stats
+			fmt.Printf("  (n=%d, DP cells %d, pruned %.2f%%)", s.N, s.DPCells, 100*s.PruneRatio())
+		}
+		fmt.Println()
+	}
+	for _, fe := range src.Errs() {
+		fmt.Fprintf(os.Stderr, "motiffind: skipped %v\n", fe)
+	}
+	fmt.Printf("%d/%d trajectories with motifs in %v (%d read errors)\n",
+		found, len(items), time.Since(start).Round(time.Millisecond), len(src.Errs()))
 }
 
 // runAlgo executes one algorithm of the -algo list and prints its report.

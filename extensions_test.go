@@ -6,6 +6,8 @@ package trajmotif
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -134,5 +136,91 @@ func TestFacadeClusterAndGeoJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "FeatureCollection") {
 		t.Error("GeoJSON export malformed")
+	}
+}
+
+// TestFacadeStreaming exercises the streaming ingestion surface end to
+// end: a corpus directory written through the facade writers, streamed
+// back via OpenCorpus, and discovered with results identical to the
+// slurp-based batch call.
+func TestFacadeStreaming(t *testing.T) {
+	dir := t.TempDir()
+	var want []*Trajectory
+	for seed := int64(1); seed <= 3; seed++ {
+		tr, err := GenerateDataset(Truck, DatasetConfig{Seed: seed, N: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tr)
+	}
+	if err := WriteFile(filepath.Join(dir, "a.plt"), want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(dir, "b.csv"), want[1]); err != nil {
+		t.Fatal(err)
+	}
+	nd, err := os.Create(filepath.Join(dir, "c.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(nd, want[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenCorpus(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := DiscoverStream(src, 4, &BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := src.Errs(); len(errs) != 0 {
+		t.Fatalf("corpus errors: %v", errs)
+	}
+	if len(streamed) != 3 {
+		t.Fatalf("streamed %d trajectories, want 3", len(streamed))
+	}
+
+	// Slurp the same files in the same (sorted) order and compare the
+	// discoveries; file round trips quantize coordinates, so reload
+	// rather than reusing the originals.
+	var slurped []*Trajectory
+	for _, p := range src.Files() {
+		var tr *Trajectory
+		if strings.HasSuffix(p, ".ndjson") {
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err = NewNDJSONScanner(f).Next()
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var err error
+			if tr, err = ReadFile(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slurped = append(slurped, tr)
+	}
+	batchItems, err := DiscoverBatch(slurped, 4, &BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range streamed {
+		if streamed[k].Err != nil || batchItems[k].Err != nil {
+			t.Fatalf("item %d errored: stream %v, batch %v", k, streamed[k].Err, batchItems[k].Err)
+		}
+		s, b := streamed[k].Result, batchItems[k].Result
+		if s.Distance != b.Distance || s.A != b.A || s.B != b.B {
+			t.Errorf("item %d: streamed motif (%v %v %.6f) != slurped (%v %v %.6f)",
+				k, s.A, s.B, s.Distance, b.A, b.B, b.Distance)
+		}
 	}
 }

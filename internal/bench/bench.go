@@ -55,6 +55,12 @@ type Config struct {
 	// Results are unchanged; precompute timings shrink to cache hits, so
 	// leave it nil when measuring the paper's cold-start numbers.
 	Artifacts core.ArtifactSource
+	// CorpusDir, when set, points experiment C1 at a trajectory corpus
+	// directory (.plt/.csv/.mcsv/.ndjson/.jsonl, streamed in bounded
+	// memory); CorpusXi is its minimum motif length (0 selects
+	// DefaultCorpusXi).
+	CorpusDir string
+	CorpusXi  int
 }
 
 // opts stamps the run's worker count and artifact source onto o (nil o
@@ -123,6 +129,7 @@ func Experiments() []Experiment {
 		{"F20", "Figure 20", "response time vs minimum motif length xi", runFigure20},
 		{"F21", "Figure 21", "two-trajectory variant, response time vs n", runFigure21},
 		{"S1", "Abstract", "headline speedup: GTM vs BruteDP, measured and projected", runSpeedup},
+		{"C1", "§6.1", "corpus-directory discovery via streaming ingestion", runCorpus},
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -47,8 +48,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 			t.Errorf("incomplete experiment %+v", e)
 		}
 	}
-	if len(seen) != 15 {
-		t.Errorf("registry has %d experiments, want 15", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("registry has %d experiments, want 16", len(seen))
 	}
 }
 
@@ -79,5 +80,36 @@ func TestFigureShapesSmall(t *testing.T) {
 		if err := Run(id, cfg, &buf); err != nil {
 			t.Fatalf("%s: %v\noutput:\n%s", id, err, buf.String())
 		}
+	}
+}
+
+// TestCorpusExperiment drives C1 over the shared streaming testdata
+// corpus, and checks it degrades to an explicit skip without a directory.
+func TestCorpusExperiment(t *testing.T) {
+	var sb strings.Builder
+	cfg := DefaultConfig()
+	if err := Run("C1", cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "skipped") {
+		t.Errorf("C1 without a corpus should report a skip, got:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	cfg.CorpusDir = filepath.Join("..", "trajio", "testdata", "corpus")
+	cfg.CorpusXi = 2
+	cfg.Workers = 1
+	if err := Run("C1", cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "6/6 trajectories searched") {
+		t.Errorf("C1 over the corpus did not search all 6 trajectories:\n%s", out)
+	}
+	if !strings.Contains(out, "a_timed.plt") || !strings.Contains(out, filepath.Join("sub", "f_nested.csv")) {
+		t.Errorf("C1 table is missing corpus files:\n%s", out)
+	}
+	if strings.Contains(out, "error:") || strings.Contains(out, "unreadable:") {
+		t.Errorf("C1 reported failures over a clean corpus:\n%s", out)
 	}
 }

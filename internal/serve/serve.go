@@ -7,6 +7,8 @@
 // Endpoints:
 //
 //	POST /trajectories    register a trajectory; returns its content ID
+//	POST /trajectories/bulk  stream-register an NDJSON corpus upload
+//	DELETE /trajectories/{id}  remove a trajectory and its cached artifacts
 //	POST /discover        motif in one trajectory, or between two (id2)
 //	POST /discover/pairs  motifs between every pair of the given ids
 //	POST /topk            k best mutually disjoint motifs
@@ -23,17 +25,18 @@
 // count; see internal/store for the argument.
 //
 // Resource bounds: request bodies are capped (Options.MaxBodyBytes,
-// default 64 MiB) and the artifact cache is budgeted, but the trajectory
-// registry itself grows with every distinct upload — the store has no
-// expiry. Deployments accepting untrusted uploads should front the
-// server with quota enforcement; a registry eviction policy is a
-// ROADMAP item.
+// default 64 MiB; bulk uploads additionally decode record by record, so
+// they stream under the cap without buffering) and the artifact cache is
+// budgeted. The trajectory registry grows with every distinct upload;
+// DELETE /trajectories/{id} is the eviction primitive — an automatic
+// TTL/LRU policy on the registry remains a ROADMAP item.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -95,6 +98,8 @@ func New(st *store.Store, opt *Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /trajectories", s.handleTrajectories)
+	s.mux.HandleFunc("POST /trajectories/bulk", s.handleTrajectoriesBulk)
+	s.mux.HandleFunc("DELETE /trajectories/{id}", s.handleTrajectoryDelete)
 	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /discover/pairs", s.handleDiscoverPairs)
 	s.mux.HandleFunc("POST /topk", s.handleTopK)
@@ -228,6 +233,38 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// resolveDataset resolves the dataset of a /knn or /join request. With
+// explicit reqIDs, every id must resolve (404 on a miss — the client
+// named it). With reqIDs == nil the dataset defaults to everything
+// stored except exclude; that snapshot races with concurrent DELETEs, so
+// an id that vanished between IDs() and Get is skipped rather than
+// failing a request that never named it.
+func (s *Server) resolveDataset(w http.ResponseWriter, reqIDs []store.ID, exclude store.ID) ([]store.ID, []*traj.Trajectory, bool) {
+	if reqIDs != nil {
+		ts := make([]*traj.Trajectory, len(reqIDs))
+		for k, id := range reqIDs {
+			t, ok := s.lookup(w, id)
+			if !ok {
+				return nil, nil, false
+			}
+			ts[k] = t
+		}
+		return reqIDs, ts, true
+	}
+	var ids []store.ID
+	var ts []*traj.Trajectory
+	for _, id := range s.st.IDs() {
+		if exclude != "" && id == exclude {
+			continue
+		}
+		if t, ok := s.st.Get(id); ok {
+			ids = append(ids, id)
+			ts = append(ts, t)
+		}
+	}
+	return ids, ts, true
+}
+
 // lookup resolves a trajectory id, writing a 404 on a miss.
 func (s *Server) lookup(w http.ResponseWriter, id store.ID) (*traj.Trajectory, bool) {
 	t, ok := s.st.Get(id)
@@ -276,6 +313,106 @@ func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, trajectoryResponse{
 		ID: id, N: t.Len(), Timed: t.Times != nil, Created: created,
 	})
+}
+
+// bulkRecord is the outcome of one NDJSON record of a bulk upload.
+type bulkRecord struct {
+	Index   int      `json:"index"`
+	ID      store.ID `json:"id,omitempty"`
+	N       int      `json:"n,omitempty"`
+	Timed   bool     `json:"timed,omitempty"`
+	Created bool     `json:"created,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// maxBulkEcho caps the per-record outcomes echoed in a bulk response, so
+// a multi-million-record upload cannot turn the streaming decode's memory
+// savings into an unbounded response buffer. Counts stay exact;
+// RecordsOmitted reports how many outcomes were dropped from the echo.
+const maxBulkEcho = 4096
+
+type bulkResponse struct {
+	Records []bulkRecord `json:"records"`
+	Stored  int          `json:"stored"`
+	Failed  int          `json:"failed"`
+	// RecordsOmitted counts per-record outcomes beyond the maxBulkEcho
+	// echo cap (Stored/Failed still cover them).
+	RecordsOmitted int `json:"recordsOmitted,omitempty"`
+	// Error is set when the stream ended early (malformed JSON or the
+	// body cap); records registered before the cut stand.
+	Error string `json:"error,omitempty"`
+}
+
+// record appends one outcome under the echo cap.
+func (r *bulkResponse) record(rec bulkRecord) {
+	if len(r.Records) >= maxBulkEcho {
+		r.RecordsOmitted++
+		return
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// handleTrajectoriesBulk registers a whole NDJSON stream of trajectories
+// ({"points": [[lat,lng], ...], "times": [unix, ...]} per line), decoded
+// record by record — the upload body is never buffered, so corpus-sized
+// bulk loads decode in O(largest record) under the body cap (the
+// registered trajectories themselves live in the store, and the response
+// echoes at most maxBulkEcho per-record outcomes). A semantically
+// invalid record is reported and skipped; malformed JSON ends the stream
+// (earlier registrations stand — bulk upload is not transactional).
+func (s *Server) handleTrajectoriesBulk(w http.ResponseWriter, r *http.Request) {
+	sc := trajio.NewNDJSONScanner(r.Body)
+	var resp bulkResponse
+	// idx mirrors the scanner's internal record counter (RecordError
+	// carries the authoritative index; successes advance in lockstep) —
+	// if the scanner's counting rules ever change, change this too.
+	idx := 0
+	for {
+		t, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		var re *trajio.RecordError
+		if errors.As(err, &re) {
+			resp.record(bulkRecord{Index: re.Index, Error: re.Err.Error()})
+			resp.Failed++
+			idx = re.Index + 1
+			continue
+		}
+		if err != nil {
+			if resp.Stored == 0 && resp.Failed == 0 {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			resp.Error = err.Error()
+			break
+		}
+		id, created, err := s.st.Add(t)
+		if err != nil {
+			resp.record(bulkRecord{Index: idx, Error: err.Error()})
+			resp.Failed++
+		} else {
+			resp.record(bulkRecord{
+				Index: idx, ID: id, N: t.Len(), Timed: t.Times != nil, Created: created,
+			})
+			resp.Stored++
+		}
+		idx++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrajectoryDelete removes a trajectory from the registry and
+// purges its cached artifacts — the registry-eviction primitive. The
+// /knn and /join dataset defaults ("everything stored") stop including
+// it immediately.
+func (s *Server) handleTrajectoryDelete(w http.ResponseWriter, r *http.Request) {
+	id := store.ID(r.PathValue("id"))
+	if !s.st.Remove(id) {
+		writeError(w, http.StatusNotFound, "unknown trajectory %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "removed": true})
 }
 
 type discoverRequest struct {
@@ -484,21 +621,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ids := req.IDs
-	if ids == nil {
-		for _, id := range s.st.IDs() {
-			if id != req.Query {
-				ids = append(ids, id)
-			}
-		}
-	}
-	ds := make([]*traj.Trajectory, len(ids))
-	for k, id := range ids {
-		t, ok := s.lookup(w, id)
-		if !ok {
-			return
-		}
-		ds[k] = t
+	ids, ds, ok := s.resolveDataset(w, req.IDs, req.Query)
+	if !ok {
+		return
 	}
 	nbrs, st, err := knn.Nearest(q, ds, req.K, &knn.Options{Dist: s.st.Dist()})
 	if err != nil {
@@ -536,17 +661,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	ids := req.IDs
-	if ids == nil {
-		ids = s.st.IDs()
-	}
-	ts := make([]*traj.Trajectory, len(ids))
-	for k, id := range ids {
-		t, ok := s.lookup(w, id)
-		if !ok {
-			return
-		}
-		ts[k] = t
+	ids, ts, ok := s.resolveDataset(w, req.IDs, "")
+	if !ok {
+		return
 	}
 	pairs, st, err := join.Join(ts, req.Eps, &join.Options{Dist: s.st.Dist(), Exact: req.Exact})
 	if err != nil {
@@ -618,6 +735,7 @@ type serverStats struct {
 	Reused              int64  `json:"reused"`
 	Evicted             int64  `json:"evicted"`
 	GridRebuildsAvoided int64  `json:"gridRebuildsAvoided"`
+	Removed             int64  `json:"removed"`
 	Requests            int64  `json:"requests"`
 	Uptime              string `json:"uptime"`
 }
@@ -633,6 +751,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Reused:              st.Reused,
 		Evicted:             st.Evicted,
 		GridRebuildsAvoided: st.GridRebuildsAvoided(),
+		Removed:             st.Removed,
 		Requests:            s.requests.Load(),
 		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),
 	})

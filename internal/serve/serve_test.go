@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"trajmotif/internal/core"
@@ -13,6 +14,7 @@ import (
 	"trajmotif/internal/group"
 	"trajmotif/internal/store"
 	"trajmotif/internal/traj"
+	"trajmotif/internal/trajio"
 )
 
 // harness spins up an httptest server around a fresh store.
@@ -364,4 +366,252 @@ func TestConcurrentDiscover(t *testing.T) {
 			t.Errorf("concurrent response %d differs: %+v vs %+v", k, results[k], ref)
 		}
 	}
+}
+
+// bulkCall POSTs a raw NDJSON body to /trajectories/bulk.
+func bulkCall(t *testing.T, ts *httptest.Server, body string, out *bulkResponse, wantStatus int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/trajectories/bulk", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("bulk: status %d (want %d): %s", resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("bulk: decode: %v", err)
+		}
+	}
+}
+
+// TestBulkUpload: an NDJSON stream registers record by record, yielding
+// the same content IDs as individual uploads, with per-record errors
+// reported and skipped.
+func TestBulkUpload(t *testing.T) {
+	ts, srv := harness(t)
+	trs := []*traj.Trajectory{
+		fixture(t, 31, 50),
+		fixture(t, 32, 60),
+		fixture(t, 33, 70),
+	}
+	// Untimed copies: the upload helper encodes whole seconds while
+	// WriteNDJSON keeps nanosecond fractions, so only the geometry (which
+	// is what the content hash of an untimed trajectory covers) can be
+	// compared across the two upload paths.
+	for k, tr := range trs {
+		c := tr.Clip(tr.Len())
+		c.Times = nil
+		trs[k] = c
+	}
+	var body bytes.Buffer
+	if err := trajio.WriteNDJSON(&body, trs...); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bulkResponse
+	bulkCall(t, ts, body.String(), &out, http.StatusOK)
+	if out.Stored != 3 || out.Failed != 0 || out.Error != "" || len(out.Records) != 3 {
+		t.Fatalf("bulk response: %+v", out)
+	}
+	for k, rec := range out.Records {
+		if rec.Index != k || !rec.Created || rec.N != trs[k].Len() {
+			t.Errorf("record %d: %+v", k, rec)
+		}
+		if _, ok := srv.Store().Get(rec.ID); !ok {
+			t.Errorf("record %d id %s not registered", k, rec.ID)
+		}
+	}
+	if srv.Store().Len() != 3 {
+		t.Fatalf("store holds %d trajectories, want 3", srv.Store().Len())
+	}
+
+	// Bulk IDs match the content hashes of individual uploads.
+	for k, tr := range trs {
+		if id := upload(t, ts, tr); id != out.Records[k].ID {
+			t.Errorf("record %d: bulk id %s != individual id %s", k, out.Records[k].ID, id)
+		}
+	}
+
+	// A semantically bad record is reported and skipped; the rest lands.
+	mixed := `{"points":[[1,2],[1.1,2.1]]}` + "\n" +
+		`{"points":[[999,2],[1,2]]}` + "\n" +
+		`{"points":[[3,4],[3.1,4.1]],"times":[5,6]}` + "\n"
+	out = bulkResponse{}
+	bulkCall(t, ts, mixed, &out, http.StatusOK)
+	if out.Stored != 2 || out.Failed != 1 {
+		t.Fatalf("mixed bulk: %+v", out)
+	}
+	if out.Records[1].Error == "" || out.Records[1].Index != 1 {
+		t.Errorf("bad record not reported at index 1: %+v", out.Records[1])
+	}
+	if !out.Records[2].Timed {
+		t.Error("timed record lost its timestamps")
+	}
+
+	// Malformed JSON after valid records: 200 with the stream error set
+	// and the earlier registrations standing.
+	before := srv.Store().Len()
+	out = bulkResponse{}
+	bulkCall(t, ts, `{"points":[[7,8],[7.1,8.1]]}`+"\n{garbage\n", &out, http.StatusOK)
+	if out.Stored != 1 || out.Error == "" {
+		t.Fatalf("truncated bulk: %+v", out)
+	}
+	if srv.Store().Len() != before+1 {
+		t.Errorf("truncated bulk registered %d, want 1", srv.Store().Len()-before)
+	}
+
+	// Nothing decodable at all: a plain 400.
+	bulkCall(t, ts, "{garbage\n", nil, http.StatusBadRequest)
+	bulkCall(t, ts, "", nil, http.StatusBadRequest)
+}
+
+// TestBulkEchoCap: per-record outcomes beyond maxBulkEcho are dropped
+// from the response echo, while the counts (and the registrations) stay
+// exact — the response cannot grow without bound with the upload.
+func TestBulkEchoCap(t *testing.T) {
+	ts, srv := harness(t)
+	n := maxBulkEcho + 5
+	var body strings.Builder
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&body, `{"points":[[1,%d.001],[1.1,%d.002]]}`+"\n", k%180, k%180)
+	}
+	var out bulkResponse
+	bulkCall(t, ts, body.String(), &out, http.StatusOK)
+	if len(out.Records) != maxBulkEcho {
+		t.Fatalf("echoed %d records, want the %d cap", len(out.Records), maxBulkEcho)
+	}
+	if out.RecordsOmitted != n-maxBulkEcho {
+		t.Errorf("RecordsOmitted = %d, want %d", out.RecordsOmitted, n-maxBulkEcho)
+	}
+	if out.Stored+out.Failed != n {
+		t.Errorf("counts cover %d records, want %d", out.Stored+out.Failed, n)
+	}
+	// Registrations are capped by content dedup (180 distinct), not echo.
+	if srv.Store().Len() != 180 {
+		t.Errorf("store holds %d distinct trajectories, want 180", srv.Store().Len())
+	}
+}
+
+// TestBulkBodyCap: the cap applies to bulk uploads too, but records
+// decoded before the cap trips are kept (the response reports the cut).
+func TestBulkBodyCap(t *testing.T) {
+	srv := New(store.New(nil), &Options{Workers: 1, MaxBodyBytes: 96})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	body := `{"points":[[1,2],[1.1,2.1]]}` + "\n" +
+		`{"points":[[3,4],[3.1,4.1],[3.2,4.2],[3.3,4.3],[3.4,4.4],[3.5,4.5]]}` + "\n"
+	var out bulkResponse
+	bulkCall(t, ts, body, &out, http.StatusOK)
+	if out.Stored != 1 || out.Error == "" {
+		t.Fatalf("capped bulk: %+v", out)
+	}
+	if srv.Store().Len() != 1 {
+		t.Errorf("store holds %d, want the 1 record decoded before the cap", srv.Store().Len())
+	}
+}
+
+// TestDeleteTrajectory: the removal API, including the interaction with
+// /knn and /join defaulting their dataset to "everything stored".
+func TestDeleteTrajectory(t *testing.T) {
+	ts, srv := harness(t)
+	var ids []store.ID
+	for seed := int64(41); seed <= 44; seed++ {
+		tr, err := datagen.Dataset(datagen.TruckName, datagen.Config{Seed: seed, N: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, upload(t, ts, tr))
+	}
+
+	// Warm the cache so the delete has artifacts to purge.
+	call(t, ts, "POST", "/discover", discoverRequest{ID: ids[3], Xi: 4}, nil, http.StatusOK)
+
+	var knnOut knnResponse
+	call(t, ts, "POST", "/knn", knnRequest{Query: ids[0], K: 3}, &knnOut, http.StatusOK)
+	if len(knnOut.Neighbors) != 3 {
+		t.Fatalf("knn over 4 stored returned %d neighbors", len(knnOut.Neighbors))
+	}
+	var joinOut joinResponse
+	call(t, ts, "POST", "/join", joinRequest{Eps: 1e9}, &joinOut, http.StatusOK)
+	if len(joinOut.Pairs) != 6 {
+		t.Fatalf("join over 4 stored reported %d pairs, want 6", len(joinOut.Pairs))
+	}
+
+	var del map[string]any
+	call(t, ts, "DELETE", "/trajectories/"+string(ids[3]), nil, &del, http.StatusOK)
+	if del["removed"] != true {
+		t.Fatalf("delete response: %v", del)
+	}
+	call(t, ts, "DELETE", "/trajectories/"+string(ids[3]), nil, nil, http.StatusNotFound)
+	call(t, ts, "DELETE", "/trajectories/nope", nil, nil, http.StatusNotFound)
+	call(t, ts, "POST", "/discover", discoverRequest{ID: ids[3], Xi: 4}, nil, http.StatusNotFound)
+
+	// The "everything stored" defaults shrink immediately.
+	call(t, ts, "POST", "/knn", knnRequest{Query: ids[0], K: 3}, &knnOut, http.StatusOK)
+	if len(knnOut.Neighbors) != 2 {
+		t.Fatalf("knn after delete returned %d neighbors, want 2", len(knnOut.Neighbors))
+	}
+	for _, nb := range knnOut.Neighbors {
+		if nb.ID == ids[3] {
+			t.Error("deleted trajectory still appears as a neighbor")
+		}
+	}
+	call(t, ts, "POST", "/join", joinRequest{Eps: 1e9}, &joinOut, http.StatusOK)
+	if len(joinOut.Pairs) != 3 { // C(3,2)
+		t.Errorf("join after delete reported %d pairs, want 3", len(joinOut.Pairs))
+	}
+
+	// Explicitly naming a deleted id is a 404, not a silent skip.
+	call(t, ts, "POST", "/knn", knnRequest{Query: ids[0], IDs: []store.ID{ids[1], ids[3]}, K: 1}, nil, http.StatusNotFound)
+
+	var st serverStats
+	call(t, ts, "GET", "/stats", nil, &st, http.StatusOK)
+	if st.Trajectories != 3 || st.Removed != 1 {
+		t.Errorf("stats after delete: trajectories=%d removed=%d, want 3/1", st.Trajectories, st.Removed)
+	}
+	if srv.Store().Len() != 3 {
+		t.Errorf("store holds %d, want 3", srv.Store().Len())
+	}
+}
+
+// TestKNNDefaultDuringDelete: a /knn (or /join) request that names no ids
+// must never 404 because a concurrent DELETE removed a trajectory between
+// the IDs snapshot and its resolution — vanished ids are skipped. The CI
+// race job runs this under -race.
+func TestKNNDefaultDuringDelete(t *testing.T) {
+	ts, _ := harness(t)
+	query := upload(t, ts, fixture(t, 51, 40))
+	keep := upload(t, ts, fixture(t, 52, 40))
+	_ = keep
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < 30; k++ {
+			tr := fixture(t, int64(100+k), 40)
+			id := upload(t, ts, tr)
+			req, _ := http.NewRequest("DELETE", ts.URL+"/trajectories/"+string(id), nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	for k := 0; k < 30; k++ {
+		var knnOut knnResponse
+		call(t, ts, "POST", "/knn", knnRequest{Query: query, K: 1}, &knnOut, http.StatusOK)
+		if len(knnOut.Neighbors) < 1 {
+			t.Fatalf("knn defaults lost every neighbor mid-churn")
+		}
+		var joinOut joinResponse
+		call(t, ts, "POST", "/join", joinRequest{Eps: 1e9}, &joinOut, http.StatusOK)
+	}
+	<-done
 }

@@ -70,8 +70,10 @@ type Stats struct {
 	// uncacheable requests); Reused counts constructions skipped because
 	// the artifact was resident — the cross-request extension of
 	// core.Stats.GridRebuildsAvoided. Evicted counts artifacts dropped
-	// by the LRU budget.
+	// by the LRU budget or purged by Remove.
 	Built, Reused, Evicted int64
+	// Removed counts trajectories deleted from the registry via Remove.
+	Removed int64
 }
 
 // GridRebuildsAvoided returns the cumulative constructions skipped by
@@ -132,6 +134,7 @@ type Store struct {
 	bytes int64
 
 	built, reused, evicted int64
+	removed                int64
 }
 
 // New creates an empty store. opt may be nil for defaults (haversine,
@@ -235,6 +238,45 @@ func (s *Store) idForLocked(pts []geo.Point) ID {
 	return hashPoints(pts)
 }
 
+// Remove deletes a registered trajectory and purges every cached
+// artifact derived from its geometry, returning whether the id was
+// present. This is the eviction primitive long-running deployments need:
+// the registry otherwise grows forever, and /knn and /join default their
+// dataset to "everything stored", so a removed trajectory stops
+// appearing in those defaults immediately. Searches already holding the
+// trajectory are unaffected (trajectory data is immutable), and
+// re-adding identical content later yields the same ID with artifacts
+// rebuilt on demand. If another registered trajectory shares the exact
+// geometry (same points, different timestamps), its artifacts are purged
+// too — a cache miss on its next query, never a wrong answer.
+func (s *Store) Remove(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.trajs[id]
+	if !ok {
+		return false
+	}
+	delete(s.trajs, id)
+	for k, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:k], s.order[k+1:]...)
+			break
+		}
+	}
+	pid := s.idForLocked(t.Points)
+	delete(s.hashMemo, dataKey{ptr: &t.Points[0], n: len(t.Points)})
+	for key, e := range s.cache {
+		if key.a == pid || key.b == pid {
+			s.lru.Remove(e.elem)
+			delete(s.cache, key)
+			s.bytes -= e.bytes
+			s.evicted++
+		}
+	}
+	s.removed++
+	return true
+}
+
 // Get returns a registered trajectory.
 func (s *Store) Get(id ID) (*traj.Trajectory, bool) {
 	s.mu.Lock()
@@ -273,6 +315,7 @@ func (s *Store) Stats() Stats {
 		Built:        s.built,
 		Reused:       s.reused,
 		Evicted:      s.evicted,
+		Removed:      s.removed,
 	}
 }
 

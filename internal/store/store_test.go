@@ -349,3 +349,86 @@ func TestTransposeReuse(t *testing.T) {
 		t.Errorf("transpose-served search differs: %+v vs %+v", got, want)
 	}
 }
+
+// TestRemove: removal deregisters the trajectory, purges its cached
+// artifacts (freeing cache bytes), and leaves re-adding working.
+func TestRemove(t *testing.T) {
+	s := New(nil)
+	a, b := fixture(t, 20, 120), fixture(t, 21, 120)
+	ida, _, err := s.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, _, err := s.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build artifacts for both (self grid + bound table each) plus the
+	// cross grid, so the purge has self and cross entries to hit.
+	opt := &core.Options{Workers: 1, Artifacts: s}
+	if _, err := group.GTM(a, 8, 16, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.GTM(b, 8, 16, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.GTMCross(a, b, 8, 16, opt); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.Artifacts == 0 || before.CacheBytes == 0 {
+		t.Fatalf("setup built no artifacts: %+v", before)
+	}
+
+	if s.Remove("nope") {
+		t.Error("Remove of an unknown id reported true")
+	}
+	if !s.Remove(ida) {
+		t.Fatal("Remove of a registered id reported false")
+	}
+	if s.Remove(ida) {
+		t.Error("second Remove of the same id reported true")
+	}
+
+	st := s.Stats()
+	if st.Trajectories != 1 || st.Removed != 1 {
+		t.Errorf("after Remove: Trajectories=%d Removed=%d, want 1/1", st.Trajectories, st.Removed)
+	}
+	if got := s.IDs(); len(got) != 1 || got[0] != idb {
+		t.Errorf("IDs() = %v, want [%s]", got, idb)
+	}
+	if _, ok := s.Get(ida); ok {
+		t.Error("Get still resolves a removed id")
+	}
+	// Every artifact touching a's geometry is gone: a's self grid and
+	// bound table plus the (a, b) cross artifacts — b's own survive.
+	if purged := before.Artifacts - st.Artifacts; purged < 3 {
+		t.Errorf("purged %d artifacts, want at least 3 (self grid, self bounds, cross grid)", purged)
+	}
+	if st.CacheBytes >= before.CacheBytes {
+		t.Errorf("CacheBytes did not shrink: %d -> %d", before.CacheBytes, st.CacheBytes)
+	}
+	if st.Evicted == before.Evicted {
+		t.Error("purged artifacts not accounted in Evicted")
+	}
+
+	// b is untouched: a warm search over b still reuses.
+	reusedBefore := st.Reused
+	if _, err := group.GTM(b, 8, 16, opt); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Reused <= reusedBefore {
+		t.Error("surviving trajectory lost its cached artifacts")
+	}
+
+	// Re-adding identical content restores the same id, artifacts rebuild
+	// on demand.
+	back, created, err := s.Add(a)
+	if err != nil || !created || back != ida {
+		t.Fatalf("re-Add: id=%s created=%v err=%v, want %s/true", back, created, err, ida)
+	}
+	if _, err := group.GTM(a, 8, 16, opt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,9 @@ package trajio
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -35,6 +38,77 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if back.Len() != tr.Len() {
 			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+	})
+}
+
+// FuzzScanner is the streaming parity oracle. The CSV/PLT legs are a
+// tripwire, not an independent check: ReadCSV/ReadPLT ARE the scanners'
+// first Next today, so they cannot diverge — these legs exist to fail
+// loudly if anyone reintroduces a second parser or drive loop. The live
+// assertions are the multi-record legs: NDJSON and multi-CSV streams
+// must never panic, must terminate, and every yielded trajectory must be
+// valid and writable.
+func FuzzScanner(f *testing.F) {
+	header := "a\r\nb\r\nc\r\nd\r\ne\r\nf\r\n"
+	f.Add("lat,lng\n39.9,116.4\n39.91,116.41\n")
+	f.Add("\uFEFF\n\nlat,lng\n39.9,116.4\n")
+	f.Add("39.9,116.4,1000\n40.0,116.5,1010\n")
+	f.Add(header + "39.9,116.4,0,0,0,2009-10-11,14:04:30\r\n")
+	f.Add(header + "39.9,116.4,0,0,0,1899-12-30,00:00:00\r\n")
+	f.Add("1,2\n1.1,2.1\n\n3,4\n3.1,4.1\n")
+	f.Add(`{"points":[[1,2],[1.1,2.1]],"times":[5,6]}` + "\n")
+	f.Add(`{"points":[[999,2]]}` + "\n" + `{"points":[[1,2]]}` + "\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		// CSV: acceptance and output must match ReadCSV exactly.
+		slurped, serr := ReadCSV(strings.NewReader(in))
+		streamed, terr := NewCSVScanner(strings.NewReader(in)).Next()
+		if (serr == nil) != (terr == nil) {
+			t.Fatalf("csv acceptance diverged: slurp err %v, stream err %v", serr, terr)
+		}
+		if serr == nil && !reflect.DeepEqual(slurped, streamed) {
+			t.Fatalf("csv parity broken:\nslurp  %+v\nstream %+v", slurped, streamed)
+		}
+
+		// PLT: same oracle.
+		slurped, serr = ReadPLT(strings.NewReader(in))
+		streamed, terr = NewPLTScanner(strings.NewReader(in)).Next()
+		if (serr == nil) != (terr == nil) {
+			t.Fatalf("plt acceptance diverged: slurp err %v, stream err %v", serr, terr)
+		}
+		if serr == nil && !reflect.DeepEqual(slurped, streamed) {
+			t.Fatalf("plt parity broken:\nslurp  %+v\nstream %+v", slurped, streamed)
+		}
+
+		// Multi-record streams: must never panic and must terminate; every
+		// yielded trajectory must be valid and NDJSON-writable.
+		for _, sc := range []Scanner{
+			NewMultiCSVScanner(strings.NewReader(in)),
+			NewNDJSONScanner(strings.NewReader(in)),
+		} {
+			for {
+				tr, err := sc.Next()
+				if err != nil {
+					var re *RecordError
+					if errors.As(err, &re) {
+						continue // recoverable by contract
+					}
+					if !errors.Is(err, io.EOF) {
+						// Terminal error: the stream must now be done.
+						if _, err := sc.Next(); !errors.Is(err, io.EOF) {
+							t.Fatalf("stream not done after terminal error, got %v", err)
+						}
+					}
+					break
+				}
+				if tr.Len() == 0 {
+					t.Fatal("scanner yielded an empty trajectory")
+				}
+				if err := WriteNDJSON(io.Discard, tr); err != nil {
+					t.Fatalf("yielded trajectory not writable: %v", err)
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,613 @@
+// Streaming trajectory ingestion: iterator-style sources that yield
+// trajectories one at a time without materializing a whole corpus. The
+// slurp readers (ReadPLT, ReadCSV) and the scanners here drive the same
+// incremental parsers, so streaming and slurping are byte-identical by
+// construction — and the parity/fuzz suites pin it.
+//
+// Memory model: every scanner holds at most one trajectory under
+// construction plus a fixed line buffer. DirSource additionally holds the
+// sorted file list (names only) and keeps exactly one file open at a
+// time, so a GeoLife-scale corpus streams in O(largest trajectory).
+package trajio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// Scanner yields trajectories one at a time from an underlying stream.
+// Next returns io.EOF after the final trajectory; any other error means a
+// record could not be parsed. Unless documented otherwise (RecordError),
+// a non-EOF error ends the stream and subsequent calls return io.EOF.
+type Scanner interface {
+	Next() (*traj.Trajectory, error)
+}
+
+// RecordError reports one semantically invalid record in a multi-record
+// stream (NDJSON). The stream remains readable past it: calling Next
+// again continues with the following record. Callers that cannot skip
+// records should treat it as fatal.
+type RecordError struct {
+	// Index is the zero-based position of the bad record in the stream.
+	Index int
+	Err   error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("trajio: record %d: %v", e.Index, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// FileError records a file that failed to parse during a DirSource scan.
+type FileError struct {
+	Path string
+	Err  error
+}
+
+func (e FileError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+func (e FileError) Unwrap() error { return e.Err }
+
+// newLineScanner wraps r with the line splitter and the 1 MiB line budget
+// every trajio parser uses.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return sc
+}
+
+// --- incremental parsers (shared by the slurp readers and the scanners) ---
+
+// pltParser is the incremental core of ReadPLT: feed every line in order,
+// then finish. Line numbering and error text match ReadPLT exactly.
+type pltParser struct {
+	line   int
+	points []geo.Point
+	times  []time.Time
+}
+
+func (p *pltParser) feed(text string) error {
+	p.line++
+	if p.line <= 6 {
+		return nil // fixed preamble
+	}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil
+	}
+	fields := strings.Split(text, ",")
+	if len(fields) < 7 {
+		return fmt.Errorf("trajio: plt line %d: %d fields, want 7", p.line, len(fields))
+	}
+	lat, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("trajio: plt line %d: bad latitude: %w", p.line, err)
+	}
+	lng, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return fmt.Errorf("trajio: plt line %d: bad longitude: %w", p.line, err)
+	}
+	pt := geo.Point{Lat: lat, Lng: lng}
+	if !pt.Valid() {
+		return fmt.Errorf("trajio: plt line %d: invalid point %v", p.line, pt)
+	}
+	ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
+	if err != nil {
+		return fmt.Errorf("trajio: plt line %d: bad timestamp: %w", p.line, err)
+	}
+	p.points = append(p.points, pt)
+	p.times = append(p.times, ts)
+	return nil
+}
+
+func (p *pltParser) finish() (*traj.Trajectory, error) {
+	if len(p.points) == 0 {
+		return nil, errors.New("trajio: plt file contains no records")
+	}
+	// WritePLT stamps every record of an untimed trajectory with the OLE
+	// epoch; recognize that sentinel so the round trip is identity-
+	// preserving. Real GPS logs never carry 1899 timestamps.
+	times := p.times
+	allEpoch := true
+	for _, ts := range times {
+		if !ts.Equal(pltEpoch) {
+			allEpoch = false
+			break
+		}
+	}
+	if allEpoch {
+		times = nil
+	}
+	return traj.New(p.points, times)
+}
+
+// csvParser is the incremental core of ReadCSV: feed every line in order
+// (blank lines included, so line numbers in errors match the file), then
+// finish. reset clears the trajectory under construction but keeps the
+// line counter, for multi-record streams.
+type csvParser struct {
+	line   int
+	points []geo.Point
+	times  []time.Time
+	timed  bool
+	sawRow bool // a non-empty row (header or data) has been consumed
+}
+
+func newCSVParser() *csvParser { return &csvParser{timed: true} }
+
+func (p *csvParser) reset() {
+	p.points, p.times = nil, nil
+	p.timed = true
+	p.sawRow = false
+}
+
+func (p *csvParser) feed(text string) error {
+	p.line++
+	if !p.sawRow {
+		text = strings.TrimPrefix(text, "\uFEFF")
+	}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil
+	}
+	fields := strings.Split(text, ",")
+	if !p.sawRow {
+		p.sawRow = true
+		if _, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); err != nil {
+			return nil // header row
+		}
+	}
+	if len(fields) < 2 {
+		return fmt.Errorf("trajio: csv line %d: %d fields, want at least 2", p.line, len(fields))
+	}
+	lat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+	if err != nil {
+		return fmt.Errorf("trajio: csv line %d: bad latitude: %w", p.line, err)
+	}
+	lng, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+	if err != nil {
+		return fmt.Errorf("trajio: csv line %d: bad longitude: %w", p.line, err)
+	}
+	pt := geo.Point{Lat: lat, Lng: lng}
+	if !pt.Valid() {
+		return fmt.Errorf("trajio: csv line %d: invalid point %v", p.line, pt)
+	}
+	p.points = append(p.points, pt)
+	if len(fields) >= 3 && p.timed {
+		unix, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return fmt.Errorf("trajio: csv line %d: bad timestamp: %w", p.line, err)
+		}
+		sec := int64(unix)
+		p.times = append(p.times, time.Unix(sec, int64((unix-float64(sec))*1e9)).UTC())
+	} else {
+		p.timed = false
+	}
+	return nil
+}
+
+func (p *csvParser) finish() (*traj.Trajectory, error) {
+	if len(p.points) == 0 {
+		return nil, errors.New("trajio: csv file contains no records")
+	}
+	times := p.times
+	if !p.timed || len(times) != len(p.points) {
+		times = nil
+	}
+	return traj.New(p.points, times)
+}
+
+// --- one-shot scanners (single-trajectory formats) ---
+
+// lineParser is the incremental contract the one-shot scanners drive.
+type lineParser interface {
+	feed(text string) error
+	finish() (*traj.Trajectory, error)
+}
+
+// oneShot adapts a whole-file format to the Scanner interface: the first
+// Next drives the stream line by line through the parser and yields the
+// single trajectory; every later call returns io.EOF.
+type oneShot struct {
+	sc   *bufio.Scanner
+	p    lineParser
+	done bool
+}
+
+func (s *oneShot) Next() (*traj.Trajectory, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.done = true
+	for s.sc.Scan() {
+		if err := s.p.feed(s.sc.Text()); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	return s.p.finish()
+}
+
+// NewPLTScanner returns a Scanner over one GeoLife .plt stream: it yields
+// the file's single trajectory (parsed line by line, identical to
+// ReadPLT) and then io.EOF.
+func NewPLTScanner(r io.Reader) Scanner {
+	return &oneShot{sc: newLineScanner(r), p: &pltParser{}}
+}
+
+// NewCSVScanner returns a Scanner over one single-trajectory CSV stream,
+// identical to ReadCSV (header/BOM/blank-line tolerance included).
+func NewCSVScanner(r io.Reader) Scanner {
+	return &oneShot{sc: newLineScanner(r), p: newCSVParser()}
+}
+
+// --- multi-record streams ---
+
+// NewMultiCSVScanner returns a Scanner over a multi-trajectory CSV
+// stream: records are "lat,lng[,unix]" blocks separated by one or more
+// blank lines. Each block may open with its own header row; line numbers
+// in errors are global to the stream. Note the framing difference from
+// ReadCSV, which skips interior blank lines inside its single record.
+func NewMultiCSVScanner(r io.Reader) Scanner {
+	return &multiCSV{sc: newLineScanner(r), p: newCSVParser()}
+}
+
+type multiCSV struct {
+	sc   *bufio.Scanner
+	p    *csvParser
+	rec  int // records yielded so far
+	done bool
+}
+
+func (s *multiCSV) Next() (*traj.Trajectory, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	yield := func() (*traj.Trajectory, error) {
+		t, err := s.p.finish()
+		s.p.reset()
+		if err != nil {
+			s.done = true
+			return nil, err
+		}
+		s.rec++
+		return t, nil
+	}
+	for s.sc.Scan() {
+		text := s.sc.Text()
+		if strings.TrimSpace(text) == "" && len(s.p.points) > 0 {
+			s.p.line++ // keep global numbering despite bypassing feed
+			return yield()
+		}
+		if err := s.p.feed(text); err != nil {
+			s.done = true
+			return nil, err
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		s.done = true
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	if len(s.p.points) > 0 {
+		return yield()
+	}
+	s.done = true
+	if s.rec == 0 {
+		return nil, errors.New("trajio: csv stream contains no records")
+	}
+	return nil, io.EOF
+}
+
+// ndjsonRecord is the NDJSON wire shape on the read side, mirroring the
+// motif server's trajectory upload: [lat, lng] pairs plus optional
+// unix-second times. Coordinates and times decode through pointers into
+// free-length arrays so wrong arity AND JSON nulls are RecordErrors — a
+// fixed [2]float64 would silently zero-fill short arrays, drop extras,
+// and turn null into 0, storing corrupted geometry under a valid-looking
+// content hash.
+type ndjsonRecord struct {
+	Points [][]*float64 `json:"points"`
+	Times  []*float64   `json:"times,omitempty"`
+}
+
+// ndjsonWireRecord is the write-side shape (never-null by construction).
+type ndjsonWireRecord struct {
+	Points [][]float64 `json:"points"`
+	Times  []float64   `json:"times,omitempty"`
+}
+
+// NewNDJSONScanner returns a Scanner over newline-delimited JSON records
+// of the form {"points": [[lat,lng], ...], "times": [unix, ...]} — the
+// body format of the server's POST /trajectories/bulk. Records are
+// decoded one at a time (the whole stream is never buffered). A
+// semantically invalid record yields a *RecordError and the stream
+// continues; malformed JSON ends the stream.
+func NewNDJSONScanner(r io.Reader) Scanner {
+	return &ndjsonScanner{dec: json.NewDecoder(r)}
+}
+
+type ndjsonScanner struct {
+	dec  *json.Decoder
+	rec  int
+	done bool
+}
+
+func (s *ndjsonScanner) Next() (*traj.Trajectory, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	var rec ndjsonRecord
+	if err := s.dec.Decode(&rec); err != nil {
+		s.done = true
+		if err == io.EOF {
+			if s.rec == 0 {
+				return nil, errors.New("trajio: ndjson stream contains no records")
+			}
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trajio: ndjson record %d: %w", s.rec, err)
+	}
+	idx := s.rec
+	s.rec++
+	t, err := trajFromNDJSON(rec)
+	if err != nil {
+		return nil, &RecordError{Index: idx, Err: err}
+	}
+	return t, nil
+}
+
+func trajFromNDJSON(rec ndjsonRecord) (*traj.Trajectory, error) {
+	if len(rec.Points) == 0 {
+		return nil, errors.New("empty points")
+	}
+	points := make([]geo.Point, len(rec.Points))
+	for k, p := range rec.Points {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("point %d has %d coordinates, want 2", k, len(p))
+		}
+		if p[0] == nil || p[1] == nil {
+			return nil, fmt.Errorf("point %d has a null coordinate", k)
+		}
+		points[k] = geo.Point{Lat: *p[0], Lng: *p[1]}
+	}
+	var times []time.Time
+	if rec.Times != nil {
+		if len(rec.Times) != len(points) {
+			return nil, fmt.Errorf("%d times for %d points", len(rec.Times), len(points))
+		}
+		times = make([]time.Time, len(rec.Times))
+		for k, unix := range rec.Times {
+			if unix == nil {
+				return nil, fmt.Errorf("time %d is null", k)
+			}
+			sec := int64(*unix)
+			times[k] = time.Unix(sec, int64((*unix-float64(sec))*1e9)).UTC()
+		}
+	}
+	return traj.New(points, times)
+}
+
+// WriteNDJSON appends the trajectories to w as newline-delimited JSON
+// records, the NewNDJSONScanner / POST /trajectories/bulk format.
+// Timestamps are encoded as (possibly fractional) unix seconds; whole
+// seconds round-trip exactly.
+func WriteNDJSON(w io.Writer, ts ...*traj.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range ts {
+		rec := ndjsonWireRecord{Points: make([][]float64, t.Len())}
+		for k, p := range t.Points {
+			rec.Points[k] = []float64{p.Lat, p.Lng}
+		}
+		if t.Times != nil {
+			rec.Times = make([]float64, t.Len())
+			for k, ts := range t.Times {
+				rec.Times[k] = float64(ts.Unix()) + float64(ts.Nanosecond())/1e9
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trajio: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// --- directory corpus source ---
+
+// DirOptions configures OpenDir.
+type DirOptions struct {
+	// Glob filters files by base name, case-insensitively, with
+	// path.Match syntax (e.g. "*.plt", "2009*.csv"). Empty selects every
+	// file with a recognized extension: .plt, .csv, .mcsv, .ndjson,
+	// .jsonl.
+	Glob []string
+	// FailFast makes Next surface the first file or record error instead
+	// of capturing it in Errs and continuing with the next file.
+	FailFast bool
+}
+
+// defaultGlobs matches the extensions DirSource knows how to parse.
+var defaultGlobs = []string{"*.plt", "*.csv", "*.mcsv", "*.ndjson", "*.jsonl"}
+
+// DirSource streams every trajectory under a directory tree — the lazy,
+// bounded-memory corpus walk the GeoLife evaluation layout needs. Files
+// are visited in deterministic lexicographic path order; exactly one is
+// open at a time, and multi-record files (.ndjson/.jsonl) yield each
+// record as its own trajectory. Parse failures do not abort the scan:
+// they are captured per file (Errs) and the walk moves on, unless
+// DirOptions.FailFast is set. DirSource is not safe for concurrent Next
+// calls; the batch streamers drain it from a single producer.
+type DirSource struct {
+	paths    []string
+	failFast bool
+
+	idx     int
+	f       *os.File
+	cur     Scanner
+	curPath string
+
+	srcs []string
+	errs []FileError
+}
+
+// OpenDir walks dir (recursively), collects the files matching opt.Glob
+// in sorted order, and returns a DirSource over them. Only file names
+// are collected up front; file contents stream one at a time through
+// Next. opt may be nil for defaults.
+func OpenDir(dir string, opt *DirOptions) (*DirSource, error) {
+	globs := defaultGlobs
+	failFast := false
+	if opt != nil {
+		if len(opt.Glob) > 0 {
+			globs = opt.Glob
+		}
+		failFast = opt.FailFast
+	}
+	for _, g := range globs {
+		if _, err := path.Match(g, "probe"); err != nil {
+			return nil, fmt.Errorf("trajio: bad glob %q: %w", g, err)
+		}
+	}
+	var paths []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		base := strings.ToLower(filepath.Base(p))
+		for _, g := range globs {
+			if ok, _ := path.Match(strings.ToLower(g), base); ok {
+				paths = append(paths, p)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	sort.Strings(paths)
+	return &DirSource{paths: paths, failFast: failFast}, nil
+}
+
+// scannerForPath picks the Scanner for a file by extension,
+// case-insensitively: .plt is GeoLife, .ndjson/.jsonl are multi-record
+// NDJSON, .mcsv is multi-record CSV, anything else is single-trajectory
+// CSV parsed exactly like ReadFile — in particular, interior blank lines
+// in a .csv are skipped, not record separators. Blank-line-separated
+// multi-trajectory CSV must use the .mcsv extension (or an explicit
+// NewMultiCSVScanner); fed to the .csv path it would silently merge into
+// one trajectory.
+func scannerForPath(p string, r io.Reader) Scanner {
+	switch strings.ToLower(filepath.Ext(p)) {
+	case ".plt":
+		return NewPLTScanner(r)
+	case ".ndjson", ".jsonl":
+		return NewNDJSONScanner(r)
+	case ".mcsv":
+		return NewMultiCSVScanner(r)
+	default:
+		return NewCSVScanner(r)
+	}
+}
+
+// Next yields the next trajectory of the corpus, opening files lazily.
+// It returns io.EOF once every file is exhausted.
+func (s *DirSource) Next() (*traj.Trajectory, error) {
+	for {
+		if s.cur == nil {
+			if s.idx >= len(s.paths) {
+				return nil, io.EOF
+			}
+			p := s.paths[s.idx]
+			s.idx++
+			f, err := os.Open(p)
+			if err != nil {
+				if s.failFast {
+					s.idx = len(s.paths)
+					return nil, err
+				}
+				s.errs = append(s.errs, FileError{Path: p, Err: err})
+				continue
+			}
+			s.f, s.curPath = f, p
+			s.cur = scannerForPath(p, f)
+		}
+		t, err := s.cur.Next()
+		switch {
+		case err == nil:
+			s.srcs = append(s.srcs, s.curPath)
+			return t, nil
+		case errors.Is(err, io.EOF):
+			s.closeCurrent()
+		default:
+			var re *RecordError
+			if errors.As(err, &re) && !s.failFast {
+				// The record stream survives a semantic error; keep
+				// draining the same file.
+				s.errs = append(s.errs, FileError{Path: s.curPath, Err: err})
+				continue
+			}
+			p := s.curPath
+			s.closeCurrent()
+			if s.failFast {
+				// Honor the Scanner contract: a surfaced error ends the
+				// stream; a retrying caller must not silently skip files.
+				s.idx = len(s.paths)
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			s.errs = append(s.errs, FileError{Path: p, Err: err})
+		}
+	}
+}
+
+func (s *DirSource) closeCurrent() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.cur, s.curPath = nil, ""
+}
+
+// Close releases the currently open file and ends the scan; subsequent
+// Next calls return io.EOF.
+func (s *DirSource) Close() error {
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+		s.f = nil
+	}
+	s.cur, s.curPath = nil, ""
+	s.idx = len(s.paths)
+	return err
+}
+
+// Files lists the corpus files the source will visit, in scan order.
+func (s *DirSource) Files() []string { return append([]string(nil), s.paths...) }
+
+// Paths returns the source file of every trajectory yielded so far, one
+// entry per trajectory in yield order — index-aligned with the items of
+// batch.DiscoverStream over this source.
+func (s *DirSource) Paths() []string { return append([]string(nil), s.srcs...) }
+
+// Errs returns the per-file failures captured so far (nil with FailFast).
+func (s *DirSource) Errs() []FileError { return append([]FileError(nil), s.errs...) }

@@ -1,0 +1,372 @@
+package trajio
+
+// Parity property suite for the streaming subsystem: every scanner must
+// be byte-identical to the slurp readers on the checked-in testdata
+// corpus, and DirSource must equal the sorted per-file slurp.
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// drain collects every trajectory of a scanner, failing on any error.
+func drain(t *testing.T, sc Scanner) []*traj.Trajectory {
+	t.Helper()
+	var out []*traj.Trajectory
+	for {
+		tr, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("scanner error after %d trajectories: %v", len(out), err)
+		}
+		out = append(out, tr)
+	}
+}
+
+// corpusFiles lists the files of a testdata corpus in DirSource's
+// deterministic (sorted path) order.
+func corpusFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestScannerParityCorpus: for every file in the corpus, the one-shot
+// scanner's output is DeepEqual to the slurp reader's.
+func TestScannerParityCorpus(t *testing.T) {
+	for _, p := range corpusFiles(t, filepath.Join("testdata", "corpus")) {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			want, err := ReadFile(p)
+			if err != nil {
+				t.Fatalf("slurp: %v", err)
+			}
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var sc Scanner
+			if strings.EqualFold(filepath.Ext(p), ".plt") {
+				sc = NewPLTScanner(f)
+			} else {
+				sc = NewCSVScanner(f)
+			}
+			got := drain(t, sc)
+			if len(got) != 1 {
+				t.Fatalf("scanner yielded %d trajectories, want 1", len(got))
+			}
+			if !reflect.DeepEqual(got[0], want) {
+				t.Errorf("scanner output differs from slurp:\n got %+v\nwant %+v", got[0], want)
+			}
+		})
+	}
+}
+
+// TestDirSourceEqualsSlurp: streaming the corpus directory equals slurping
+// each file in sorted order, with Paths() aligned to the yields.
+func TestDirSourceEqualsSlurp(t *testing.T) {
+	dir := filepath.Join("testdata", "corpus")
+	files := corpusFiles(t, dir)
+	var want []*traj.Trajectory
+	for _, p := range files {
+		tr, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		want = append(want, tr)
+	}
+
+	ds, err := OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if !reflect.DeepEqual(ds.Files(), files) {
+		t.Fatalf("Files() = %v, want %v", ds.Files(), files)
+	}
+	got := drain(t, ds)
+	if len(ds.Errs()) != 0 {
+		t.Fatalf("unexpected file errors: %v", ds.Errs())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirSource stream differs from sorted slurp (%d vs %d trajectories)", len(got), len(want))
+	}
+	if !reflect.DeepEqual(ds.Paths(), files) {
+		t.Errorf("Paths() = %v, want %v", ds.Paths(), files)
+	}
+
+	// The uppercase-extension file must have been dispatched as PLT: it is
+	// the untimed OLE-sentinel file, which parsed as CSV would fail (and
+	// as PLT with fabricated times would come back timed).
+	idx := sort.SearchStrings(files, filepath.Join(dir, "B_untimed.PLT"))
+	if idx >= len(files) || !strings.HasSuffix(files[idx], "B_untimed.PLT") {
+		t.Fatal("corpus is missing B_untimed.PLT")
+	}
+	if got[idx].Times != nil {
+		t.Error("uppercase .PLT file was not recognized as an untimed PLT")
+	}
+}
+
+// TestDirSourceGlob: filters are applied to base names case-insensitively.
+func TestDirSourceGlob(t *testing.T) {
+	dir := filepath.Join("testdata", "corpus")
+	ds, err := OpenDir(dir, &DirOptions{Glob: []string{"*.PLT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	files := ds.Files()
+	if len(files) != 2 {
+		t.Fatalf("glob *.PLT matched %v, want the two plt files", files)
+	}
+	for _, p := range files {
+		if !strings.EqualFold(filepath.Ext(p), ".plt") {
+			t.Errorf("glob matched non-plt file %s", p)
+		}
+	}
+	if got := drain(t, ds); len(got) != 2 {
+		t.Fatalf("yielded %d trajectories, want 2", len(got))
+	}
+
+	if _, err := OpenDir(dir, &DirOptions{Glob: []string{"[bad"}}); err == nil {
+		t.Error("bad glob pattern should fail at OpenDir")
+	}
+}
+
+// TestDirSourceErrorCapture: a bad file is recorded in Errs and the walk
+// continues; FailFast surfaces it instead.
+func TestDirSourceErrorCapture(t *testing.T) {
+	dir := filepath.Join("testdata", "badcorpus")
+	ds, err := OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, ds)
+	if len(got) != 1 {
+		t.Fatalf("yielded %d trajectories, want 1 (the good file)", len(got))
+	}
+	errs := ds.Errs()
+	if len(errs) != 1 || !strings.HasSuffix(errs[0].Path, "zbad.csv") {
+		t.Fatalf("Errs() = %v, want one error for zbad.csv", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "zbad.csv") {
+		t.Errorf("FileError.Error() = %q, want the path included", errs[0].Error())
+	}
+
+	ff, err := OpenDir(dir, &DirOptions{FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Next(); err != nil {
+		t.Fatalf("good file should stream under FailFast: %v", err)
+	}
+	if _, err := ff.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("FailFast should surface the parse error, got %v", err)
+	}
+	// A surfaced error ends the stream (Scanner contract): a retrying
+	// caller must get io.EOF, not silently-resumed later files.
+	if _, err := ff.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("FailFast stream not done after its error, got %v", err)
+	}
+}
+
+// TestDirSourceMultiRecord: multi-record files (.ndjson, .mcsv) yield
+// each record, in order, interleaved correctly with single-record files.
+func TestDirSourceMultiRecord(t *testing.T) {
+	dir := filepath.Join("testdata", "ndcorpus")
+	ds, err := OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, ds)
+	if len(got) != 6 {
+		t.Fatalf("yielded %d trajectories, want 6 (3 ndjson + 1 csv + 2 mcsv)", len(got))
+	}
+	if got[0].Times != nil || got[1].Times == nil || got[2].Times != nil {
+		t.Error("ndjson timed/untimed records decoded wrong")
+	}
+	paths := ds.Paths()
+	for k := 0; k < 3; k++ {
+		if !strings.HasSuffix(paths[k], "multi.ndjson") {
+			t.Errorf("trajectory %d attributed to %s, want multi.ndjson", k, paths[k])
+		}
+	}
+	if !strings.HasSuffix(paths[3], "solo.csv") {
+		t.Errorf("trajectory 3 attributed to %s, want solo.csv", paths[3])
+	}
+	// The .mcsv file splits on its blank line into two trajectories —
+	// unlike .csv, which is parsed exactly like ReadFile (blank lines
+	// skipped, one trajectory per file).
+	for k := 4; k < 6; k++ {
+		if !strings.HasSuffix(paths[k], "two.mcsv") {
+			t.Errorf("trajectory %d attributed to %s, want two.mcsv", k, paths[k])
+		}
+	}
+	if got[4].Points[0].Lat != 39.99 || got[5].Points[0].Lat != 40.01 {
+		t.Errorf("mcsv records split wrong: first points %v / %v", got[4].Points[0], got[5].Points[0])
+	}
+}
+
+// TestMultiCSVScanner: blank-line-separated records, each with optional
+// header; a single-record stream is DeepEqual to ReadCSV.
+func TestMultiCSVScanner(t *testing.T) {
+	in := "lat,lng,unix\n1,2,1000\n1.1,2.1,1010\n\nlat,lng\n3,4\n3.1,4.1\n\n\n5,6\n5.1,6.1\n"
+	got := drain(t, NewMultiCSVScanner(strings.NewReader(in)))
+	if len(got) != 3 {
+		t.Fatalf("yielded %d records, want 3", len(got))
+	}
+	if got[0].Times == nil || got[0].Times[1].Unix() != 1010 {
+		t.Errorf("record 0 lost its timestamps: %+v", got[0].Times)
+	}
+	if got[1].Times != nil || got[2].Times != nil {
+		t.Error("untimed records came back timed")
+	}
+	if got[2].Points[0].Lat != 5 || got[2].Points[1].Lng != 6.1 {
+		t.Errorf("record 2 = %+v", got[2].Points)
+	}
+
+	single := "lat,lng\n7,8\n7.1,8.1\n"
+	want, err := ReadCSV(strings.NewReader(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := drain(t, NewMultiCSVScanner(strings.NewReader(single)))
+	if len(ms) != 1 || !reflect.DeepEqual(ms[0], want) {
+		t.Errorf("single-record multi stream differs from ReadCSV")
+	}
+
+	if _, err := NewMultiCSVScanner(strings.NewReader("\n\n")).Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Error("empty multi-csv stream should error like ReadCSV, not EOF")
+	}
+	sc := NewMultiCSVScanner(strings.NewReader("1,2\n1.1,2.1\nx,y\n"))
+	if _, err := sc.Next(); err == nil {
+		t.Fatal("bad row should error")
+	}
+	if _, err := sc.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("multi-csv stream should be done after a parse error, got %v", err)
+	}
+}
+
+// TestNDJSONScanner covers WriteNDJSON round trips, record-level recovery
+// and terminal syntax errors.
+func TestNDJSONScanner(t *testing.T) {
+	timed, err := traj.New(
+		[]geo.Point{{Lat: 1, Lng: 2}, {Lat: 1.1, Lng: 2.1}},
+		[]time.Time{time.Unix(100, 0).UTC(), time.Unix(110, 0).UTC()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untimed := traj.FromPoints([]geo.Point{{Lat: 3, Lng: 4}, {Lat: 3.1, Lng: 4.1}})
+
+	var sb strings.Builder
+	if err := WriteNDJSON(&sb, timed, untimed); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, NewNDJSONScanner(strings.NewReader(sb.String())))
+	if len(got) != 2 {
+		t.Fatalf("round trip yielded %d records, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0], timed) || !reflect.DeepEqual(got[1], untimed) {
+		t.Errorf("round trip not identity:\n got %+v / %+v\nwant %+v / %+v", got[0], got[1], timed, untimed)
+	}
+
+	// A semantically bad record is a *RecordError and the stream survives.
+	in := `{"points":[[1,2],[1.1,2.1]]}` + "\n" +
+		`{"points":[[999,2]]}` + "\n" +
+		`{"points":[[3,4],[3.1,4.1]]}` + "\n"
+	sc := NewNDJSONScanner(strings.NewReader(in))
+	if _, err := sc.Next(); err != nil {
+		t.Fatalf("record 0: %v", err)
+	}
+	_, err = sc.Next()
+	var re *RecordError
+	if !errors.As(err, &re) || re.Index != 1 {
+		t.Fatalf("record 1: got %v, want *RecordError{Index: 1}", err)
+	}
+	if tr, err := sc.Next(); err != nil || tr.Points[0].Lat != 3 {
+		t.Fatalf("stream did not survive the record error: %v", err)
+	}
+	if _, err := sc.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF at end, got %v", err)
+	}
+
+	// Wrong coordinate count is a RecordError, not silent zero-filling
+	// (a fixed-size array decode would accept [[39.9]] as (39.9, 0)).
+	sc = NewNDJSONScanner(strings.NewReader(`{"points":[[39.9],[39.91,116.41]]}` + "\n" + `{"points":[[1,2,3]]}` + "\n"))
+	for k := 0; k < 2; k++ {
+		_, err := sc.Next()
+		if !errors.As(err, &re) || !strings.Contains(err.Error(), "coordinates") {
+			t.Fatalf("record %d with wrong arity: got %v, want a coordinates RecordError", k, err)
+		}
+	}
+
+	// JSON nulls are rejected, not zero-filled: a null coordinate or time
+	// would otherwise register plausible-but-wrong geometry.
+	sc = NewNDJSONScanner(strings.NewReader(
+		`{"points":[[null,116.4],[39.9,116.4]]}` + "\n" +
+			`{"points":[[1,2],[1.1,2.1]],"times":[null,5]}` + "\n"))
+	for k, want := range []string{"null coordinate", "is null"} {
+		_, err := sc.Next()
+		if !errors.As(err, &re) || !strings.Contains(err.Error(), want) {
+			t.Fatalf("null record %d: got %v, want a RecordError containing %q", k, err, want)
+		}
+	}
+
+	// Malformed JSON is terminal.
+	sc = NewNDJSONScanner(strings.NewReader(`{"points":[[1,2],[1.1,2.1]]}` + "\n{not json\n"))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); err == nil || errors.As(err, &re) || errors.Is(err, io.EOF) {
+		t.Fatalf("syntax error should be terminal and not a RecordError, got %v", err)
+	}
+	if _, err := sc.Next(); !errors.Is(err, io.EOF) {
+		t.Error("stream should be done after a syntax error")
+	}
+
+	// Empty stream errors like the other readers.
+	if _, err := NewNDJSONScanner(strings.NewReader("")).Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Error("empty ndjson stream should error, not EOF")
+	}
+}
+
+// TestScannerEOFSticky: one-shot scanners keep returning io.EOF.
+func TestScannerEOFSticky(t *testing.T) {
+	sc := NewCSVScanner(strings.NewReader("1,2\n1.1,2.1\n"))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := sc.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("call %d after end: %v, want io.EOF", k, err)
+		}
+	}
+}

@@ -8,16 +8,13 @@ package trajio
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
-	"trajmotif/internal/geo"
 	"trajmotif/internal/traj"
 )
 
@@ -36,64 +33,11 @@ var pltEpoch = time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
 // 00:00:00) is the WritePLT encoding of an untimed trajectory, and is
 // returned with Times == nil rather than fabricating identical bogus
 // timestamps.
+// The slurp form IS the streaming form: the first Next of a one-shot
+// scanner drives the whole stream, so ReadPLT and NewPLTScanner cannot
+// diverge — they are literally the same code path.
 func ReadPLT(r io.Reader) (*traj.Trajectory, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var points []geo.Point
-	var times []time.Time
-	line := 0
-	for sc.Scan() {
-		line++
-		if line <= 6 {
-			continue // fixed preamble
-		}
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		fields := strings.Split(text, ",")
-		if len(fields) < 7 {
-			return nil, fmt.Errorf("trajio: plt line %d: %d fields, want 7", line, len(fields))
-		}
-		lat, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trajio: plt line %d: bad latitude: %w", line, err)
-		}
-		lng, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trajio: plt line %d: bad longitude: %w", line, err)
-		}
-		p := geo.Point{Lat: lat, Lng: lng}
-		if !p.Valid() {
-			return nil, fmt.Errorf("trajio: plt line %d: invalid point %v", line, p)
-		}
-		ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
-		if err != nil {
-			return nil, fmt.Errorf("trajio: plt line %d: bad timestamp: %w", line, err)
-		}
-		points = append(points, p)
-		times = append(times, ts)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trajio: %w", err)
-	}
-	if len(points) == 0 {
-		return nil, errors.New("trajio: plt file contains no records")
-	}
-	// WritePLT stamps every record of an untimed trajectory with the OLE
-	// epoch; recognize that sentinel so the round trip is identity-
-	// preserving. Real GPS logs never carry 1899 timestamps.
-	allEpoch := true
-	for _, ts := range times {
-		if !ts.Equal(pltEpoch) {
-			allEpoch = false
-			break
-		}
-	}
-	if allEpoch {
-		times = nil
-	}
-	return traj.New(points, times)
+	return NewPLTScanner(r).Next()
 }
 
 // WritePLT writes the trajectory in GeoLife .plt format, including the
@@ -124,67 +68,7 @@ func WritePLT(w io.Writer, t *traj.Trajectory) error {
 // so "\uFEFF\n\nlat,lng\n39.9,116.4" parses the same as "39.9,116.4".
 // Timestamps are kept only if present on every record.
 func ReadCSV(r io.Reader) (*traj.Trajectory, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var points []geo.Point
-	var times []time.Time
-	timed := true
-	line := 0
-	sawRow := false // a non-empty row (header or data) has been consumed
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if !sawRow {
-			text = strings.TrimPrefix(text, "\uFEFF")
-		}
-		text = strings.TrimSpace(text)
-		if text == "" {
-			continue
-		}
-		fields := strings.Split(text, ",")
-		if !sawRow {
-			sawRow = true
-			if _, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); err != nil {
-				continue // header row
-			}
-		}
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("trajio: csv line %d: %d fields, want at least 2", line, len(fields))
-		}
-		lat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("trajio: csv line %d: bad latitude: %w", line, err)
-		}
-		lng, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("trajio: csv line %d: bad longitude: %w", line, err)
-		}
-		p := geo.Point{Lat: lat, Lng: lng}
-		if !p.Valid() {
-			return nil, fmt.Errorf("trajio: csv line %d: invalid point %v", line, p)
-		}
-		points = append(points, p)
-		if len(fields) >= 3 && timed {
-			unix, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
-			if err != nil {
-				return nil, fmt.Errorf("trajio: csv line %d: bad timestamp: %w", line, err)
-			}
-			sec := int64(unix)
-			times = append(times, time.Unix(sec, int64((unix-float64(sec))*1e9)).UTC())
-		} else {
-			timed = false
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trajio: %w", err)
-	}
-	if len(points) == 0 {
-		return nil, errors.New("trajio: csv file contains no records")
-	}
-	if !timed || len(times) != len(points) {
-		times = nil
-	}
-	return traj.New(points, times)
+	return NewCSVScanner(r).Next()
 }
 
 // WriteCSV writes "lat,lng[,unix_seconds]" records with a header line.

@@ -3,7 +3,9 @@ package trajio
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -175,6 +177,49 @@ func TestFileDispatch(t *testing.T) {
 
 	if _, err := ReadFile(filepath.Join(dir, "missing.csv")); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestFileDispatchCaseInsensitive locks extension sniffing to
+// case-insensitive dispatch: GeoLife exports appear in the wild as .PLT
+// and .Plt, and parsing those as CSV would silently mangle them (the
+// six-line preamble would be taken as header/garbage rows). The same
+// applies to the streaming layer's per-file dispatch (scannerForPath).
+func TestFileDispatchCaseInsensitive(t *testing.T) {
+	dir := t.TempDir()
+	tr := datagen.Baboon(datagen.Config{Seed: 9, N: 40})
+	for _, name := range []string{"upper.PLT", "mixed.Plt", "lower.plt"} {
+		p := filepath.Join(dir, name)
+		if err := WriteFile(p, tr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(raw), "Geolife trajectory") {
+			t.Fatalf("%s was not written in PLT format", name)
+		}
+		got, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Len() != tr.Len() {
+			t.Errorf("%s: read %d points, want %d", name, got.Len(), tr.Len())
+		}
+
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := scannerForPath(p, f).Next()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: streaming dispatch: %v", name, err)
+		}
+		if !reflect.DeepEqual(st, got) {
+			t.Errorf("%s: streaming dispatch differs from ReadFile", name)
+		}
 	}
 }
 

@@ -316,6 +316,65 @@ func DiscoverAllPairs(ts []*Trajectory, minLength int, opt *BatchOptions) ([]Bat
 	return batch.DiscoverAllPairs(ts, minLength, opt)
 }
 
+// Streaming ingestion (see internal/trajio's stream layer): iterator-
+// style trajectory sources that never materialize a whole corpus, and
+// the batch entry points that consume them in bounded memory. Streaming
+// results are byte-identical to the slurp-based calls.
+type (
+	// TrajectoryScanner yields trajectories one at a time; Next returns
+	// io.EOF after the last one.
+	TrajectoryScanner = trajio.Scanner
+	// CorpusSource streams every trajectory under a directory tree in
+	// deterministic order, one open file at a time, capturing per-file
+	// errors instead of aborting.
+	CorpusSource = trajio.DirSource
+	// CorpusOptions configures OpenCorpus (glob filters, fail-fast).
+	CorpusOptions = trajio.DirOptions
+	// CorpusFileError is one captured per-file failure of a corpus scan.
+	CorpusFileError = trajio.FileError
+	// RecordError is a recoverable per-record failure of a multi-record
+	// stream (NDJSON); the stream continues past it.
+	RecordError = trajio.RecordError
+)
+
+// OpenCorpus opens a directory tree of trajectory files (.plt, .csv,
+// .mcsv, .ndjson/.jsonl, filtered by opt.Glob) as a streaming source.
+// opt may be nil for defaults.
+func OpenCorpus(dir string, opt *CorpusOptions) (*CorpusSource, error) {
+	return trajio.OpenDir(dir, opt)
+}
+
+// NewCSVScanner streams one single-trajectory CSV, identically to ReadFile.
+func NewCSVScanner(r io.Reader) TrajectoryScanner { return trajio.NewCSVScanner(r) }
+
+// NewPLTScanner streams one GeoLife .plt file, identically to ReadFile.
+func NewPLTScanner(r io.Reader) TrajectoryScanner { return trajio.NewPLTScanner(r) }
+
+// NewMultiCSVScanner streams a multi-trajectory CSV: "lat,lng[,unix]"
+// blocks separated by blank lines, each with an optional header.
+func NewMultiCSVScanner(r io.Reader) TrajectoryScanner { return trajio.NewMultiCSVScanner(r) }
+
+// NewNDJSONScanner streams newline-delimited JSON trajectory records —
+// the motif server's bulk-upload format — decoding one record at a time.
+func NewNDJSONScanner(r io.Reader) TrajectoryScanner { return trajio.NewNDJSONScanner(r) }
+
+// WriteNDJSON appends trajectories to w in the NDJSON record format.
+func WriteNDJSON(w io.Writer, ts ...*Trajectory) error { return trajio.WriteNDJSON(w, ts...) }
+
+// DiscoverStream runs motif discovery on every trajectory a scanner
+// yields, keeping at most a worker-pool's worth of trajectories resident;
+// items are identical to DiscoverBatch over the materialized slice.
+func DiscoverStream(src TrajectoryScanner, minLength int, opt *BatchOptions) ([]BatchItem, error) {
+	return batch.DiscoverStream(src, minLength, opt)
+}
+
+// DiscoverAllPairsStream runs two-trajectory discovery over a stream,
+// pairing each trajectory with the window-1 preceding it (window <= 0
+// retains everything and equals DiscoverAllPairs).
+func DiscoverAllPairsStream(src TrajectoryScanner, minLength, window int, opt *BatchOptions) ([]BatchPairItem, error) {
+	return batch.DiscoverAllPairsStream(src, minLength, window, opt)
+}
+
 // Preprocessing for raw GPS data (see internal/prep).
 type (
 	// StayPoint is a detected dwell region.
