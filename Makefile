@@ -1,5 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Minimum total statement coverage for `make cover`. Raise it when new
+# suites land; never lower it to paper over a regression.
+COVER_MIN ?= 73.0
 
 .PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke cover
 
@@ -19,14 +22,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzReadPLT$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzScanner$$' -fuzztime $(FUZZTIME) ./internal/trajio
+	$(GO) test -run '^$$' -fuzz '^FuzzSpatialIndex$$' -fuzztime $(FUZZTIME) ./internal/spatial
 
 # Coverage profile over the -short suite (the corpus parity and streaming
 # tests all run under -short), with the per-function summary's total line
-# printed for CI logs. The full profile lands in cover.out for
-# `go tool cover -html=cover.out`.
+# printed for CI logs and gated against COVER_MIN. The full profile lands
+# in cover.out for `go tool cover -html=cover.out`.
 cover:
 	$(GO) test -short -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
+	@$(GO) tool cover -func=cover.out | tail -n 1 | \
+		awk -v min=$(COVER_MIN) '{ pct = $$NF + 0; if (pct < min) { \
+			printf "coverage %.1f%% below the %.1f%% gate\n", pct, min; exit 1 } \
+			else printf "coverage %.1f%% >= %.1f%% gate\n", pct, min }'
 
 # End-to-end serve-mode smoke: build the motifserve binary, start it on a
 # free port, upload a generated trajectory, and assert the second
@@ -39,9 +47,12 @@ bench:
 
 # One iteration of every benchmark in every package — catches bit-rot in
 # bench-only code paths (including the parallel workers=N variants)
-# without paying for a statistically meaningful run.
+# without paying for a statistically meaningful run. The -json emitter
+# runs too, so the machine-readable path cannot rot between BENCH_*.json
+# regenerations.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/motifbench -json /tmp/motifbench.json
 
 fmt:
 	gofmt -l -w .

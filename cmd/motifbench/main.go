@@ -7,6 +7,7 @@
 //	motifbench [-exp all|T1|F2|F3|F4|T3|F13..F21|C1] [-scale small|full]
 //	           [-seed N] [-brute-budget 15s] [-workers N] [-list]
 //	motifbench -exp C1 -corpus /data/geolife   # stream a real corpus dir
+//	motifbench -json BENCH.json                # machine-readable counters
 //
 // Every timing experiment cross-checks that all algorithms return the same
 // optimal motif distance, so a full run doubles as an end-to-end exactness
@@ -32,6 +33,7 @@ func main() {
 	cache := flag.Bool("cache", false, "share one artifact store across every run: repeated workloads reuse grids and bound tables (results unchanged; cold-start timings become cache-hit timings)")
 	corpus := flag.String("corpus", "", "trajectory corpus directory for experiment C1 (.plt/.csv/.mcsv/.ndjson/.jsonl, streamed in bounded memory)")
 	corpusXi := flag.Int("corpus-xi", 0, "minimum motif length for -corpus runs; 0 selects the default (8)")
+	jsonOut := flag.String("json", "", "run the fixed deterministic workload and write a machine-readable counter report to this file instead of tables (CI diffs it against the checked-in BENCH_*.json baseline)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -56,6 +58,20 @@ func main() {
 	if cfg.Scale != bench.ScaleSmall && cfg.Scale != bench.ScaleFull {
 		fmt.Fprintf(os.Stderr, "motifbench: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = bench.RunJSON(cfg, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)

@@ -10,11 +10,19 @@
 //	motiffind -xi 100 -workers 8 big.plt   # shard the search over 8 cores
 //	motiffind -xi 100 -algo gtm,btm,brutedp -cache -stats walk.plt
 //	motiffind -xi 20 -corpus /data/geolife  # every trajectory under a dir
+//	motiffind -xi 20 -corpus /data/geolife -pairs -max-dist 500
 //
 // -corpus streams a whole directory tree (.plt, .csv, .ndjson) through
 // GTM discovery with bounded memory: trajectories are read one at a time
 // and released as soon as their search finishes, so corpora far larger
 // than RAM work. Unreadable files are reported and skipped.
+//
+// -pairs switches corpus mode to cross-trajectory discovery: every
+// unordered pair (or each trajectory against the -window preceding it)
+// is searched for the best shared motif. -max-dist keeps only pairs
+// whose motif is within the given meters and lets the spatial MBR
+// prefilter skip pairs provably out of range before any search runs —
+// output is identical either way, only the work changes.
 //
 // -algo accepts a comma-separated list; with -cache the queries share one
 // artifact store, so every algorithm after the first reuses the ground-
@@ -45,6 +53,9 @@ func main() {
 	cache := flag.Bool("cache", false, "share one artifact store across this invocation's queries (several -algo entries, or -k rounds), reusing grids instead of rebuilding them")
 	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
 	corpus := flag.String("corpus", "", "discover motifs in every trajectory under this directory (streamed; replaces the positional file arguments)")
+	pairs := flag.Bool("pairs", false, "with -corpus: discover cross-trajectory motifs over unordered pairs instead of per-trajectory motifs")
+	window := flag.Int("window", 0, "with -pairs: pair each trajectory only with the window-1 preceding it (0 pairs everything)")
+	maxDist := flag.Float64("max-dist", 0, "with -pairs: report only pairs whose motif DFD is within this many meters, pruning provably out-of-range pairs via the spatial MBR index (0 disables)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -60,8 +71,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "motiffind: -corpus supports only -xi, -tau, -workers and -stats (not -algo, -k, -epsilon, -cache, -geojson)")
 			os.Exit(2)
 		}
-		runCorpus(*corpus, *xi, *tau, *workers, *stats)
+		if *pairs {
+			runCorpusPairs(*corpus, *xi, *tau, *window, *workers, *maxDist, *stats)
+		} else {
+			if *window != 0 || *maxDist != 0 {
+				fmt.Fprintln(os.Stderr, "motiffind: -window and -max-dist require -pairs")
+				os.Exit(2)
+			}
+			runCorpus(*corpus, *xi, *tau, *workers, *stats)
+		}
 		return
+	}
+	if *pairs || *window != 0 || *maxDist != 0 {
+		fmt.Fprintln(os.Stderr, "motiffind: -pairs, -window and -max-dist require -corpus")
+		os.Exit(2)
 	}
 	if len(args) < 1 || len(args) > 2 {
 		fmt.Fprintln(os.Stderr, "usage: motiffind [flags] trajectory.(plt|csv) [second.(plt|csv)]")
@@ -147,6 +170,52 @@ func runCorpus(dir string, xi, tau, workers int, stats bool) {
 	}
 	fmt.Printf("%d/%d trajectories with motifs in %v (%d read errors)\n",
 		found, len(items), time.Since(start).Round(time.Millisecond), len(src.Errs()))
+}
+
+// runCorpusPairs streams a directory through all-pairs cross-trajectory
+// discovery. A positive maxDist turns on the spatial MBR prefilter:
+// pairs whose boxes are provably farther apart than the cutoff are
+// skipped before any DP runs, with identical output to the full sweep.
+func runCorpusPairs(dir string, xi, tau, window, workers int, maxDist float64, stats bool) {
+	src, err := trajmotif.OpenCorpus(dir, nil)
+	fatal(err)
+	var ixs trajmotif.BatchIndexStats
+	opt := &trajmotif.BatchOptions{
+		Tau:         tau,
+		Workers:     workers,
+		MaxDistance: maxDist,
+		IndexStats:  &ixs,
+	}
+	if maxDist > 0 {
+		opt.SpatialPrefilter = true
+	}
+	start := time.Now()
+	items, err := trajmotif.DiscoverAllPairsStream(src, xi, window, opt)
+	fatal(err)
+	paths := src.Paths()
+	found := 0
+	for _, it := range items {
+		if it.Err != nil {
+			fmt.Printf("%s <> %s: %v\n", paths[it.I], paths[it.J], it.Err)
+			continue
+		}
+		found++
+		fmt.Printf("%s <> %s: DFD %.2f m, legs %v / %v", paths[it.I], paths[it.J],
+			it.Result.Distance, it.Result.A, it.Result.B)
+		if stats {
+			s := it.Result.Stats
+			fmt.Printf("  (DP cells %d, pruned %.2f%%)", s.DPCells, 100*s.PruneRatio())
+		}
+		fmt.Println()
+	}
+	for _, fe := range src.Errs() {
+		fmt.Fprintf(os.Stderr, "motiffind: skipped %v\n", fe)
+	}
+	fmt.Printf("%d/%d pairs with motifs in %v (%d read errors)\n",
+		found, len(items), time.Since(start).Round(time.Millisecond), len(src.Errs()))
+	if maxDist > 0 {
+		fmt.Printf("spatial prefilter: %d/%d pairs pruned before search\n", ixs.Pruned, ixs.Consulted)
+	}
 }
 
 // runAlgo executes one algorithm of the -algo list and prints its report.

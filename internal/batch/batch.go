@@ -47,6 +47,31 @@ type Options struct {
 	// discovery; 0 selects 1 (see the package comment on the split). It
 	// overrides Search.Workers unless that is set explicitly.
 	SearchWorkers int
+	// MaxDistance, when positive, drops pair results whose motif distance
+	// exceeds it from DiscoverAllPairsStream's output (error items are
+	// always kept) — the "pairs within range" workload that makes a
+	// spatial pre-filter meaningful.
+	MaxDistance float64
+	// SpatialPrefilter lets DiscoverAllPairsStream skip dispatching pairs
+	// whose MBR MinDist already exceeds MaxDistance: any motif between
+	// them is at least that far apart, so the post-filter would drop the
+	// result anyway. Pairs too short to yield any candidate are still
+	// dispatched so their error items match the unfiltered run. Output is
+	// byte-identical with the flag on or off (stream_parity_test.go).
+	// Inactive unless MaxDistance > 0 and the ground distance has a known
+	// MBR bound (spatial.MinDistFor).
+	SpatialPrefilter bool
+	// IndexStats, when non-nil, receives the prefilter's effort counters
+	// after DiscoverAllPairsStream returns.
+	IndexStats *IndexStats
+}
+
+// IndexStats counts spatial-prefilter activity in a streaming all-pairs
+// run: Consulted is the number of pairs the pre-filter examined, Pruned
+// how many it skipped before dispatch.
+type IndexStats struct {
+	Consulted int64
+	Pruned    int64
 }
 
 func (o *Options) tau() int {

@@ -14,7 +14,10 @@ import (
 	"sort"
 	"sync"
 
+	"trajmotif/internal/core"
+	"trajmotif/internal/geo"
 	"trajmotif/internal/group"
+	"trajmotif/internal/spatial"
 	"trajmotif/internal/traj"
 )
 
@@ -115,9 +118,28 @@ func DiscoverStream(src Source, xi int, opt *Options) ([]Item, error) {
 // are returned in (i, j) lexicographic order over stream positions.
 // Unlike DiscoverStream, a nil or empty trajectory is a terminal error
 // (matching DiscoverAllPairs' up-front validation).
+//
+// With Options.MaxDistance set, only pairs whose motif distance is within
+// it are returned (error items always survive); with SpatialPrefilter
+// additionally set, pairs whose MBRs are provably farther apart than
+// MaxDistance skip the search entirely — see Options for the soundness
+// argument.
 func DiscoverAllPairsStream(src Source, xi, window int, opt *Options) ([]PairItem, error) {
 	if xi < 0 {
 		return nil, fmt.Errorf("batch: negative minimum motif length %d", xi)
+	}
+	var maxd float64
+	var ixStats IndexStats
+	var minDist spatial.MinDistFunc
+	if opt != nil && opt.MaxDistance > 0 {
+		maxd = opt.MaxDistance
+		if opt.SpatialPrefilter {
+			df := opt.search().Dist
+			if df == nil {
+				df = geo.Haversine
+			}
+			minDist = spatial.MinDistFor(df) // nil for unknown metrics: no prefilter
+		}
 	}
 	type job struct {
 		i, j, slot int
@@ -145,6 +167,7 @@ func DiscoverAllPairsStream(src Source, xi, window int, opt *Options) ([]PairIte
 	type retainedT struct {
 		idx int
 		t   *traj.Trajectory
+		mbr spatial.MBR
 	}
 	var retained []retainedT
 	var srcErr error
@@ -160,14 +183,27 @@ func DiscoverAllPairsStream(src Source, xi, window int, opt *Options) ([]PairIte
 			srcErr = fmt.Errorf("batch: nil or empty trajectory at %d", j)
 			break
 		}
+		var mbr spatial.MBR
+		if minDist != nil {
+			mbr = spatial.Bound(t.Points)
+		}
 		for _, r := range retained {
+			if minDist != nil {
+				ixStats.Consulted++
+				// Too-short pairs must still run so their ErrTooShort
+				// items match the unfiltered stream byte for byte.
+				if core.CrossFeasible(r.t.Len(), t.Len(), xi) && minDist(r.mbr, mbr) > maxd {
+					ixStats.Pruned++
+					continue
+				}
+			}
 			mu.Lock()
 			slot := len(items)
 			items = append(items, PairItem{I: r.idx, J: j})
 			mu.Unlock()
 			jobs <- job{i: r.idx, j: j, slot: slot, a: r.t, b: t}
 		}
-		retained = append(retained, retainedT{idx: j, t: t})
+		retained = append(retained, retainedT{idx: j, t: t, mbr: mbr})
 		if window > 0 {
 			for len(retained) > window-1 {
 				retained[0] = retainedT{} // release the reference
@@ -177,6 +213,21 @@ func DiscoverAllPairsStream(src Source, xi, window int, opt *Options) ([]PairIte
 	}
 	close(jobs)
 	wg.Wait()
+	if maxd > 0 {
+		// The range post-filter; the spatial pre-filter only ever skips
+		// pairs this line would have dropped, which is why the two
+		// configurations return identical items.
+		kept := items[:0]
+		for _, it := range items {
+			if it.Err != nil || (it.Result != nil && it.Result.Distance <= maxd) {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	if opt != nil && opt.IndexStats != nil {
+		*opt.IndexStats = ixStats
+	}
 	// Dispatch order is j-major; DiscoverAllPairs returns (i, j)
 	// lexicographic. The sort is over result metadata only, so the memory
 	// bound on trajectories is untouched.

@@ -1,0 +1,138 @@
+package batch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// prefilterCorpus scatters trajectory clusters across distant cities —
+// near pairs carry motifs within range, far pairs are index fodder — and
+// plants too-short members whose ErrTooShort items must survive both
+// configurations identically.
+func prefilterCorpus(r *rand.Rand) []*traj.Trajectory {
+	centers := [][2]float64{{39.9, 116.4}, {37.97, 23.72}, {-33.87, 151.2}}
+	var ts []*traj.Trajectory
+	for _, c := range centers {
+		for i := 0; i < 3; i++ {
+			lat, lng := c[0]+r.Float64()*0.03, c[1]+r.Float64()*0.03
+			pts := make([]geo.Point, 20+r.Intn(15))
+			for k := range pts {
+				lat += (r.Float64()*2 - 1) * 0.005
+				lng += (r.Float64()*2 - 1) * 0.005
+				pts[k] = geo.Point{Lat: lat, Lng: lng}
+			}
+			ts = append(ts, traj.FromPoints(pts))
+		}
+		// Too short for xi=4 (needs >= xi+2 = 6 points): pairs with it
+		// return ErrTooShort, prefiltered or not.
+		ts = append(ts, traj.FromPoints([]geo.Point{
+			{Lat: c[0], Lng: c[1]}, {Lat: c[0] + 0.001, Lng: c[1]}, {Lat: c[0], Lng: c[1] + 0.001},
+		}))
+	}
+	return ts
+}
+
+// TestAllPairsStreamPrefilterParity is the tentpole proof for batch:
+// with a MaxDistance cutoff, the spatially prefiltered stream returns
+// items byte-identical to the unfiltered stream for workers 1 and 4 and
+// windows 0/4, while the prefilter actually skips searches.
+func TestAllPairsStreamPrefilterParity(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	ts := prefilterCorpus(r)
+	const xi, maxDist = 4, 50_000.0 // within-city motifs pass, cross-city pairs cannot
+
+	var prunedTotal int64
+	for _, workers := range []int{1, 4} {
+		for _, window := range []int{0, 4} {
+			base := &Options{Workers: workers, MaxDistance: maxDist}
+			want, err := DiscoverAllPairsStream(SliceSource(ts), xi, window, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ixs IndexStats
+			pre := &Options{Workers: workers, MaxDistance: maxDist, SpatialPrefilter: true, IndexStats: &ixs}
+			got, err := DiscoverAllPairsStream(SliceSource(ts), xi, window, pre)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scrubPairs(got), scrubPairs(want)) {
+				t.Errorf("workers=%d window=%d: prefiltered items differ from unfiltered", workers, window)
+			}
+			if ixs.Consulted == 0 {
+				t.Errorf("workers=%d window=%d: prefilter never consulted", workers, window)
+			}
+			prunedTotal += ixs.Pruned
+			if window == 0 && ixs.Pruned == 0 {
+				t.Errorf("workers=%d window=0: cross-city pairs not pruned (consulted %d)", workers, ixs.Consulted)
+			}
+			// Every ErrTooShort pair must be present despite the prefilter.
+			for _, it := range got {
+				if it.Err == nil && it.Result == nil {
+					t.Fatalf("workers=%d window=%d: empty item %+v", workers, window, it)
+				}
+			}
+		}
+	}
+	if prunedTotal == 0 {
+		t.Error("prefilter never pruned a pair")
+	}
+
+	// MaxDistance without the prefilter still post-filters: no result
+	// beyond the cutoff survives.
+	items, err := DiscoverAllPairsStream(SliceSource(ts), xi, 0, &Options{MaxDistance: maxDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Err == nil && it.Result.Distance > maxDist {
+			t.Fatalf("post-filter leaked a %.0f m pair past the %.0f m cutoff", it.Result.Distance, maxDist)
+		}
+	}
+}
+
+// TestAllPairsStreamPrefilterInactive pins the degraded modes: zero
+// MaxDistance means no filtering at all, and an unrecognized ground
+// distance disables the prefilter (sound, never wrong) while the range
+// post-filter still applies.
+func TestAllPairsStreamPrefilterInactive(t *testing.T) {
+	r := rand.New(rand.NewSource(112))
+	ts := prefilterCorpus(r)
+
+	plain, err := DiscoverAllPairsStream(SliceSource(ts), 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ixs IndexStats
+	noCut, err := DiscoverAllPairsStream(SliceSource(ts), 4, 0, &Options{SpatialPrefilter: true, IndexStats: &ixs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scrubPairs(noCut), scrubPairs(plain)) {
+		t.Error("SpatialPrefilter without MaxDistance changed the output")
+	}
+	if ixs.Consulted != 0 {
+		t.Errorf("prefilter consulted %d pairs with no cutoff", ixs.Consulted)
+	}
+
+	custom := func(p, q geo.Point) float64 { return geo.Haversine(p, q) }
+	var ixs2 IndexStats
+	opts := &Options{MaxDistance: 50_000, SpatialPrefilter: true, IndexStats: &ixs2}
+	opts.Search = &core.Options{Dist: custom}
+	got, err := DiscoverAllPairsStream(SliceSource(ts), 4, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixs2.Consulted != 0 {
+		t.Errorf("unrecognized metric consulted the prefilter %d times", ixs2.Consulted)
+	}
+	for _, it := range got {
+		if it.Err == nil && it.Result.Distance > 50_000 {
+			t.Fatal("post-filter inactive under an unrecognized metric")
+		}
+	}
+}

@@ -252,6 +252,16 @@ func (p problem) feasible() bool {
 	return p.n >= p.xi+2 && p.m >= p.xi+2
 }
 
+// CrossFeasible reports whether a two-trajectory instance with lengths n
+// and m admits any candidate pair at minimum motif length xi — the exact
+// condition under which the cross searches return ErrTooShort instead of
+// a result. Pre-filters in front of the search (the spatial index ahead
+// of batch.DiscoverAllPairsStream) must dispatch infeasible pairs anyway
+// so their error items match the unfiltered path byte for byte.
+func CrossFeasible(n, m, xi int) bool {
+	return problem{n: n, m: m, xi: xi}.feasible()
+}
+
 // startRanges yields the feasible start-cell ranges. For Problem 1 a
 // subset (i, j) is feasible iff some candidate i < ie < j < je with both
 // legs longer than ξ steps exists: j in [i+ξ+2, n-ξ-2]. For the

@@ -15,14 +15,24 @@
 //  3. decision procedure — DFDWithin answers "DFD <= eps?" by a pruned
 //     dynamic program that abandons as soon as a full row dies, usually
 //     long before the O(l^2) table is complete.
+//
+// With Options.Index set, a spatial MBR index retrieves the candidate
+// pairs with MinDist(MBR_i, MBR_j) <= eps and rejects the rest without
+// touching their points. MinDist lower-bounds the endpoint distance
+// df(a0, b0) (both endpoints lie inside their boxes), so every pair the
+// index rejects is exactly one filter 1 would have rejected — the
+// surviving pairs run the unchanged cascade in the same (i, j) order,
+// making results and all pre-existing Stats counters byte-identical to
+// the linear scan (join_parity_test.go proves it).
 package join
 
 import (
 	"fmt"
-	"math"
+	"sort"
 
 	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
 	"trajmotif/internal/traj"
 )
 
@@ -41,6 +51,12 @@ type Options struct {
 	// Exact computes the exact DFD for reported pairs (one extra O(l^2)
 	// pass per reported pair); otherwise Distance is set to eps.
 	Exact bool
+	// Index, when non-nil, retrieves candidate pairs spatially instead of
+	// enumerating all n(n-1)/2. It must be keyed by position into ts with
+	// MBRs equal to spatial.Bound of each trajectory's points, and built
+	// for the same ground distance as Dist. Results and all non-Index
+	// Stats fields are unchanged by it.
+	Index *spatial.Index
 }
 
 func (o *Options) dist() geo.DistanceFunc {
@@ -57,6 +73,13 @@ type Stats struct {
 	BoxPruned        int64
 	DecisionRejected int64
 	Reported         int64
+	// IndexConsulted counts spatial-index retrievals (one per input
+	// trajectory on the indexed path); IndexPruned counts pairs the index
+	// rejected without touching their points. Index rejections are a
+	// subset of filter 1's, so they are credited to EndpointPruned too,
+	// keeping that counter byte-identical to the index-free join.
+	IndexConsulted int64
+	IndexPruned    int64
 }
 
 // Join reports all pairs of trajectories within DFD eps of each other.
@@ -67,44 +90,85 @@ func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, erro
 	df := opt.dist()
 	exact := opt != nil && opt.Exact
 
-	boxes := make([]box, len(ts))
+	boxes := make([]spatial.MBR, len(ts))
 	for k, t := range ts {
 		if t == nil || t.Len() == 0 {
 			return nil, Stats{}, fmt.Errorf("join: nil or empty trajectory at index %d", k)
 		}
-		boxes[k] = boundingBox(t.Points)
+		boxes[k] = spatial.Bound(t.Points)
+	}
+
+	var st Stats
+	// survivors yields the (i, j) pairs (i < j, lexicographic order) that
+	// reach the filter cascade; the indexed path rejects MinDist > eps
+	// pairs up front and books them as EndpointPruned — the filter that
+	// would have caught every one of them (MinDist <= df(a0, b0)).
+	var survivors func(yield func(i, j int))
+	if opt != nil && opt.Index != nil {
+		ix := opt.Index
+		for k := range ts {
+			if mb, ok := ix.MBROf(k); !ok {
+				return nil, Stats{}, fmt.Errorf("join: spatial index has no entry for trajectory %d", k)
+			} else {
+				boxes[k] = mb
+			}
+		}
+		n := int64(len(ts))
+		st.Pairs = n * (n - 1) / 2
+		st.IndexConsulted = n
+		survivors = func(yield func(i, j int)) {
+			var kept int64
+			for i := 0; i < len(ts); i++ {
+				cand := ix.Candidates(boxes[i], eps)
+				sort.Ints(cand)
+				for _, j := range cand {
+					if j <= i || ix.MinDist(boxes[i], boxes[j]) > eps {
+						continue
+					}
+					kept++
+					yield(i, j)
+				}
+			}
+			st.IndexPruned = st.Pairs - kept
+			st.EndpointPruned += st.IndexPruned
+		}
+	} else {
+		survivors = func(yield func(i, j int)) {
+			for i := 0; i < len(ts); i++ {
+				for j := i + 1; j < len(ts); j++ {
+					st.Pairs++
+					yield(i, j)
+				}
+			}
+		}
 	}
 
 	var out []Pair
-	var st Stats
-	for i := 0; i < len(ts); i++ {
-		for j := i + 1; j < len(ts); j++ {
-			st.Pairs++
-			a, b := ts[i].Points, ts[j].Points
+	survivors(func(i, j int) {
+		a, b := ts[i].Points, ts[j].Points
 
-			// Filter 1: endpoint bound.
-			if df(a[0], b[0]) > eps || df(a[len(a)-1], b[len(b)-1]) > eps {
-				st.EndpointPruned++
-				continue
-			}
-			// Filter 2: box probes in both directions.
-			if probeBound(a, boxes[j], df) > eps || probeBound(b, boxes[i], df) > eps {
-				st.BoxPruned++
-				continue
-			}
-			// Filter 3: decision DP.
-			if !DFDWithin(a, b, df, eps) {
-				st.DecisionRejected++
-				continue
-			}
-			p := Pair{I: i, J: j, Distance: eps}
-			if exact {
-				p.Distance = dist.DFD(a, b, df)
-			}
-			out = append(out, p)
-			st.Reported++
+		// Filter 1: endpoint bound.
+		if df(a[0], b[0]) > eps || df(a[len(a)-1], b[len(b)-1]) > eps {
+			st.EndpointPruned++
+			return
 		}
-	}
+		// Filter 2: box probes in both directions.
+		if probeBound(a, boxes[j], df) > eps || probeBound(b, boxes[i], df) > eps {
+			st.BoxPruned++
+			return
+		}
+		// Filter 3: decision DP.
+		if !DFDWithin(a, b, df, eps) {
+			st.DecisionRejected++
+			return
+		}
+		p := Pair{I: i, J: j, Distance: eps}
+		if exact {
+			p.Distance = dist.DFD(a, b, df)
+		}
+		out = append(out, p)
+		st.Reported++
+	})
 	return out, st, nil
 }
 
@@ -120,47 +184,14 @@ func DFDWithin(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
 	return dist.DFDDecision(a, b, df, eps)
 }
 
-type box struct {
-	minLat, maxLat, minLng, maxLng float64
-}
-
-func boundingBox(pts []geo.Point) box {
-	b := box{minLat: math.Inf(1), maxLat: math.Inf(-1), minLng: math.Inf(1), maxLng: math.Inf(-1)}
-	for _, p := range pts {
-		b.minLat = math.Min(b.minLat, p.Lat)
-		b.maxLat = math.Max(b.maxLat, p.Lat)
-		b.minLng = math.Min(b.minLng, p.Lng)
-		b.maxLng = math.Max(b.maxLng, p.Lng)
-	}
-	return b
-}
-
-// clampToBox returns the point of the box closest to p (in coordinate
-// space), whose ground distance to p lower-bounds p's distance to every
-// point inside the box.
-func clampToBox(p geo.Point, b box) geo.Point {
-	q := p
-	if q.Lat < b.minLat {
-		q.Lat = b.minLat
-	} else if q.Lat > b.maxLat {
-		q.Lat = b.maxLat
-	}
-	if q.Lng < b.minLng {
-		q.Lng = b.minLng
-	} else if q.Lng > b.maxLng {
-		q.Lng = b.maxLng
-	}
-	return q
-}
-
 // probeBound lower-bounds DFD(a, ·) for any trajectory inside bb: every
 // coupling matches each probed point of a to some point in bb, so the
 // max probe-to-box distance is a lower bound. Probes first, middle, last.
-func probeBound(a []geo.Point, bb box, df geo.DistanceFunc) float64 {
+func probeBound(a []geo.Point, bb spatial.MBR, df geo.DistanceFunc) float64 {
 	lb := 0.0
 	for _, idx := range [...]int{0, len(a) / 2, len(a) - 1} {
 		p := a[idx]
-		if d := df(p, clampToBox(p, bb)); d > lb {
+		if d := df(p, bb.Clamp(p)); d > lb {
 			lb = d
 		}
 	}

@@ -1,0 +1,160 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/dist"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/traj"
+)
+
+// geoWalk is a short noisy walk around a city-scale center on valid
+// lat/lng coordinates.
+func geoWalk(r *rand.Rand, n int, lat, lng float64) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		lat += (r.Float64()*2 - 1) * 0.01
+		lng += (r.Float64()*2 - 1) * 0.01
+		pts[i] = geo.Point{Lat: lat, Lng: lng}
+	}
+	return traj.FromPoints(pts)
+}
+
+// parityCorpus clusters trajectories in distant cities — near pairs the
+// join must report, far pairs the index must reject — plus duplicate and
+// single-point members for the degenerate edges.
+func parityCorpus(r *rand.Rand) []*traj.Trajectory {
+	centers := [][2]float64{{39.9, 116.4}, {37.97, 23.72}, {48.85, 2.35}, {-33.87, 151.2}}
+	var ts []*traj.Trajectory
+	for _, c := range centers {
+		for i := 0; i < 4; i++ {
+			ts = append(ts, geoWalk(r, 12+r.Intn(18), c[0]+r.Float64()*0.05, c[1]+r.Float64()*0.05))
+		}
+		ts = append(ts, traj.FromPoints([]geo.Point{{Lat: c[0], Lng: c[1]}}))
+	}
+	ts = append(ts, ts[0]) // exact duplicate: a distance-0 pair
+	return ts
+}
+
+// TestJoinIndexParity is the tentpole proof for the join: for radii
+// bracketing a true pair distance from both sides (±ε in the ulp sense),
+// zero, and corpus-scale values, the indexed join returns pairs AND the
+// full filter-cascade stats byte-identical to the all-pairs scan, while
+// IndexPruned > 0 overall.
+func TestJoinIndexParity(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	var pruned int64
+	for trial := 0; trial < 6; trial++ {
+		ts := parityCorpus(r)
+		// A true distance to bracket: two members of the first cluster.
+		d := dist.DFD(ts[0].Points, ts[1].Points, geo.Haversine)
+		radii := []float64{0, math.Nextafter(d, 0), d, math.Nextafter(d, math.Inf(1)), 5000, 2e7}
+		ix, err := spatial.BuildIndex(ts, geo.Haversine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range radii {
+			for _, exact := range []bool{false, true} {
+				plain, pst, err1 := Join(ts, eps, &Options{Exact: exact})
+				fast, fst, err2 := Join(ts, eps, &Options{Exact: exact, Index: ix})
+				if err1 != nil || err2 != nil {
+					t.Fatalf("trial %d eps=%g: errors %v / %v", trial, eps, err1, err2)
+				}
+				if fst.IndexConsulted != int64(len(ts)) {
+					t.Fatalf("trial %d eps=%g: IndexConsulted = %d, want %d", trial, eps, fst.IndexConsulted, len(ts))
+				}
+				pruned += fst.IndexPruned
+				fst.IndexConsulted, fst.IndexPruned = 0, 0
+				if !reflect.DeepEqual(plain, fast) {
+					t.Fatalf("trial %d eps=%g exact=%v: pairs differ\nplain %+v\nindexed %+v",
+						trial, eps, exact, plain, fast)
+				}
+				if pst != fst {
+					t.Fatalf("trial %d eps=%g exact=%v: stats differ\nplain %+v\nindexed %+v",
+						trial, eps, exact, pst, fst)
+				}
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Error("index never pruned a pair on the parity corpus")
+	}
+}
+
+// TestJoinIndexEdges covers eps = 0 (duplicates must still pair),
+// empty input, the one-trajectory join, single-point trajectories, and
+// a stale index.
+func TestJoinIndexEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+
+	// eps = 0 with an exact duplicate: the pair is reported at distance 0.
+	a := geoWalk(r, 10, 40, -74)
+	ts := []*traj.Trajectory{a, geoWalk(r, 10, 51.5, 0), a}
+	ix, err := spatial.BuildIndex(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, st, err := Join(ts, 0, &Options{Exact: true, Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].I != 0 || pairs[0].J != 2 || pairs[0].Distance != 0 {
+		t.Fatalf("eps=0 duplicates: %+v", pairs)
+	}
+	if st.Pairs != 3 {
+		t.Fatalf("eps=0 Pairs = %d, want 3", st.Pairs)
+	}
+
+	// Empty and singleton inputs: no pairs, no error.
+	for _, in := range [][]*traj.Trajectory{nil, {a}} {
+		ixn, err := spatial.BuildIndex(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, st, err := Join(in, 100, &Options{Index: ixn})
+		if err != nil || len(pairs) != 0 || st.Pairs != 0 {
+			t.Fatalf("degenerate input %d: %v %+v %+v", len(in), err, pairs, st)
+		}
+	}
+
+	// Single-point trajectories: DFD is the point distance; parity holds.
+	ones := []*traj.Trajectory{
+		traj.FromPoints([]geo.Point{{Lat: 40, Lng: -74}}),
+		traj.FromPoints([]geo.Point{{Lat: 40.0001, Lng: -74}}),
+		traj.FromPoints([]geo.Point{{Lat: -33, Lng: 151}}),
+	}
+	ix1, err := spatial.BuildIndex(ones, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, pst, err1 := Join(ones, 100, nil)
+	fast, fst, err2 := Join(ones, 100, &Options{Index: ix1})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("single-point: %v / %v", err1, err2)
+	}
+	fst.IndexConsulted, fst.IndexPruned = 0, 0
+	if !reflect.DeepEqual(plain, fast) || pst != fst {
+		t.Fatalf("single-point parity broke: %+v %+v vs %+v %+v", plain, pst, fast, fst)
+	}
+	if len(plain) != 1 || plain[0].I != 0 || plain[0].J != 1 {
+		t.Fatalf("single-point join: %+v", plain)
+	}
+
+	// An index that does not cover the input errors instead of guessing.
+	empty, err := spatial.BuildIndex(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Join(ones, 100, &Options{Index: empty}); err == nil {
+		t.Error("index missing the input should error")
+	}
+
+	// Negative radius still rejected on the indexed path.
+	if _, _, err := Join(ones, -1, &Options{Index: ix1}); err == nil {
+		t.Error("negative radius with index should error")
+	}
+}

@@ -1,6 +1,6 @@
-// Package knn implements index-free k-nearest-trajectory search under the
-// discrete Fréchet distance — the "most similar trajectory search" operation
-// of the paper's reference [9] (Frentzos et al., ICDE'07), rebuilt on the
+// Package knn implements k-nearest-trajectory search under the discrete
+// Fréchet distance — the "most similar trajectory search" operation of
+// the paper's reference [9] (Frentzos et al., ICDE'07), rebuilt on the
 // same lower-bound philosophy as the motif engine:
 //
 //  1. every candidate gets a cheap lower bound (endpoint distances and
@@ -11,6 +11,18 @@
 //     a few rows;
 //  4. the search stops as soon as the next lower bound exceeds the k-th
 //     best — the remaining candidates cannot improve the result.
+//
+// With Options.Index set, a spatial MBR index supplies a free per-
+// candidate pre-bound (spatial MinDist, pure arithmetic over cached
+// boxes) that is itself a lower bound on the cheap lower bound above, so
+// candidates are refined lazily: a candidate whose MinDist already
+// exceeds the k-th best is skipped without a single ground-distance
+// evaluation or point scan. Because refinement happens in the exact
+// ascending (bound, index) order the linear scan would have used, the
+// indexed search visits the same dynamic programs against the same caps
+// in the same order — results and the pre-existing Stats counters are
+// byte-identical with and without the index (proven by the parity suite
+// in knn_parity_test.go); only IndexConsulted/IndexPruned differ.
 package knn
 
 import (
@@ -21,6 +33,7 @@ import (
 
 	"trajmotif/internal/dist"
 	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
 	"trajmotif/internal/traj"
 )
 
@@ -38,11 +51,23 @@ type Stats struct {
 	SkippedByLB    int64 // never reached the DP
 	AbandonedEarly int64 // DP started but died against the cap
 	Exact          int64 // full DFD computations that completed
+	// IndexConsulted counts spatial-index consultations (one per indexed
+	// search); IndexPruned counts candidates the index rejected before
+	// any ground-distance work — a subset of SkippedByLB, which stays
+	// byte-identical to the index-free scan.
+	IndexConsulted int64
+	IndexPruned    int64
 }
 
 // Options tunes the search; zero value uses haversine.
 type Options struct {
 	Dist geo.DistanceFunc
+	// Index, when non-nil, enables MBR pre-bounding. It must be keyed by
+	// dataset position with MBRs equal to spatial.Bound of each
+	// trajectory's points (spatial.BuildIndex, or the store's cached
+	// boxes), and built for the same ground distance as Dist. Results
+	// and all non-Index Stats fields are unchanged by it.
+	Index *spatial.Index
 }
 
 func (o *Options) dist() geo.DistanceFunc {
@@ -64,31 +89,23 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 	}
 	df := opt.dist()
 	st := Stats{Candidates: int64(len(dataset))}
-
-	// Cheap lower bounds per candidate.
-	type cand struct {
-		idx int
-		lb  float64
-	}
-	q := query.Points
-	qBox := boundingBox(q)
-	cands := make([]cand, 0, len(dataset))
 	for i, t := range dataset {
 		if t == nil || t.Len() == 0 {
 			return nil, Stats{}, fmt.Errorf("knn: nil or empty trajectory at index %d", i)
 		}
-		p := t.Points
-		lb := math.Max(df(q[0], p[0]), df(q[len(q)-1], p[len(p)-1]))
-		lb = math.Max(lb, probeBound(q, boundingBox(p), df))
-		lb = math.Max(lb, probeBound(p, qBox, df))
-		cands = append(cands, cand{idx: i, lb: lb})
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lb != cands[b].lb {
-			return cands[a].lb < cands[b].lb
-		}
-		return cands[a].idx < cands[b].idx
-	})
+
+	q := query.Points
+	qBox := spatial.Bound(q)
+
+	// lowerBound is the cheap per-candidate bound of the package comment,
+	// shared verbatim by both paths (pBox must be the candidate's MBR).
+	lowerBound := func(i int, pBox spatial.MBR) float64 {
+		p := dataset[i].Points
+		lb := math.Max(df(q[0], p[0]), df(q[len(q)-1], p[len(p)-1]))
+		lb = math.Max(lb, probeBound(q, pBox, df))
+		return math.Max(lb, probeBound(p, qBox, df))
+	}
 
 	// Max-heap of the best k neighbors found so far, ordered by
 	// (distance, index) so the root is the lexicographically worst
@@ -99,22 +116,20 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 	h := &nbrHeap{}
 	heap.Init(h)
 	kth := math.Inf(1)
-	for ci, c := range cands {
-		if h.Len() == k && c.lb > kth {
-			st.SkippedByLB = int64(len(cands) - ci)
-			break
-		}
+	// process runs the exact DP for one candidate against the current
+	// cap; both paths call it for the same candidates in the same order.
+	process := func(idx int) {
 		capd := math.Inf(1)
 		if h.Len() == k {
 			capd = math.Nextafter(kth, math.Inf(1))
 		}
-		d, exceeded := dist.DFDCapped(q, dataset[c.idx].Points, df, capd)
+		d, exceeded := dist.DFDCapped(q, dataset[idx].Points, df, capd)
 		if exceeded {
 			st.AbandonedEarly++
-			continue
+			return
 		}
 		st.Exact++
-		nb := Neighbor{Index: c.idx, Distance: d}
+		nb := Neighbor{Index: idx, Distance: d}
 		if h.Len() < k {
 			heap.Push(h, nb)
 		} else if nbrLess(nb, (*h)[0]) {
@@ -126,12 +141,122 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 		}
 	}
 
+	if opt != nil && opt.Index != nil {
+		if err := nearestIndexed(dataset, qBox, opt.Index, k, h, &kth, &st, lowerBound, process); err != nil {
+			return nil, Stats{}, err
+		}
+	} else {
+		// Linear scan: cheap lower bounds for every candidate, visited in
+		// ascending (lb, index) order.
+		type cand struct {
+			idx int
+			lb  float64
+		}
+		cands := make([]cand, 0, len(dataset))
+		for i, t := range dataset {
+			cands = append(cands, cand{idx: i, lb: lowerBound(i, spatial.Bound(t.Points))})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].lb != cands[b].lb {
+				return cands[a].lb < cands[b].lb
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		for _, c := range cands {
+			if h.Len() == k && c.lb > kth {
+				break
+			}
+			process(c.idx)
+		}
+	}
+	// Every candidate is either processed or skipped before its DP; the
+	// identity holds on the break-free path too (the difference is 0).
+	st.SkippedByLB = st.Candidates - st.AbandonedEarly - st.Exact
+
 	out := make([]Neighbor, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(Neighbor)
 	}
 	sort.Slice(out, func(a, b int) bool { return nbrLess(out[a], out[b]) })
 	return out, st, nil
+}
+
+// nearestIndexed drains candidates through a lazy refinement heap keyed
+// by (bound, index): every candidate enters under its spatial MinDist
+// (≤ the endpoint distance, hence ≤ the full lower bound); popping an
+// unrefined candidate upgrades it to the full lower bound and re-queues
+// it. Refined candidates therefore pop in exactly the ascending
+// (lb, index) order the linear scan sorts into, so the DP sequence, the
+// cap evolution and every counter match the scan bit for bit; the gain
+// is that candidates whose MinDist never drops below the k-th best are
+// popped refined-less at the end — or not at all — and counted as
+// IndexPruned without any point scan or ground-distance call.
+func nearestIndexed(dataset []*traj.Trajectory, qBox spatial.MBR, ix *spatial.Index, k int,
+	h *nbrHeap, kth *float64, st *Stats,
+	lowerBound func(int, spatial.MBR) float64, process func(int)) error {
+
+	st.IndexConsulted = 1
+	lh := make(lazyHeap, 0, len(dataset))
+	for i := range dataset {
+		mb, ok := ix.MBROf(i)
+		if !ok {
+			return fmt.Errorf("knn: spatial index has no entry for candidate %d", i)
+		}
+		lh = append(lh, lazyCand{idx: i, mbr: mb, bound: ix.MinDist(qBox, mb)})
+	}
+	heap.Init(&lh)
+	for lh.Len() > 0 {
+		if h.Len() == k && lh[0].bound > *kth {
+			// Everything left bounds above the k-th best: the linear scan
+			// would have skipped it all too. Unrefined leftovers never
+			// cost a ground-distance call — that is the index's win.
+			break
+		}
+		c := heap.Pop(&lh).(lazyCand)
+		if !c.refined {
+			c.bound = lowerBound(c.idx, c.mbr)
+			c.refined = true
+			heap.Push(&lh, c)
+			continue
+		}
+		process(c.idx)
+	}
+	for _, c := range lh {
+		if !c.refined {
+			st.IndexPruned++
+		}
+	}
+	return nil
+}
+
+// lazyCand is one candidate in the indexed search: bound is the spatial
+// MinDist until refined, then the full cheap lower bound.
+type lazyCand struct {
+	idx     int
+	bound   float64
+	refined bool
+	mbr     spatial.MBR
+}
+
+// lazyHeap is a min-heap over (bound, idx) — a strict total order, so
+// the pop sequence is deterministic.
+type lazyHeap []lazyCand
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].idx < h[j].idx
+}
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x any)   { *h = append(*h, x.(lazyCand)) }
+func (h *lazyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // nbrLess is the result order: ascending distance, ties broken by index.
@@ -156,41 +281,14 @@ func (h *nbrHeap) Pop() any {
 	return x
 }
 
-type box struct {
-	minLat, maxLat, minLng, maxLng float64
-}
-
-func boundingBox(pts []geo.Point) box {
-	b := box{minLat: math.Inf(1), maxLat: math.Inf(-1), minLng: math.Inf(1), maxLng: math.Inf(-1)}
-	for _, p := range pts {
-		b.minLat = math.Min(b.minLat, p.Lat)
-		b.maxLat = math.Max(b.maxLat, p.Lat)
-		b.minLng = math.Min(b.minLng, p.Lng)
-		b.maxLng = math.Max(b.maxLng, p.Lng)
-	}
-	return b
-}
-
-func clampToBox(p geo.Point, b box) geo.Point {
-	q := p
-	if q.Lat < b.minLat {
-		q.Lat = b.minLat
-	} else if q.Lat > b.maxLat {
-		q.Lat = b.maxLat
-	}
-	if q.Lng < b.minLng {
-		q.Lng = b.minLng
-	} else if q.Lng > b.maxLng {
-		q.Lng = b.maxLng
-	}
-	return q
-}
-
-func probeBound(a []geo.Point, bb box, df geo.DistanceFunc) float64 {
+// probeBound lower-bounds DFD(a, ·) for any trajectory inside bb: every
+// coupling matches each probed point of a to some point in bb, so the
+// max probe-to-box distance is a lower bound. Probes first, middle, last.
+func probeBound(a []geo.Point, bb spatial.MBR, df geo.DistanceFunc) float64 {
 	lb := 0.0
 	for _, idx := range [...]int{0, len(a) / 2, len(a) - 1} {
 		p := a[idx]
-		if d := df(p, clampToBox(p, bb)); d > lb {
+		if d := df(p, bb.Clamp(p)); d > lb {
 			lb = d
 		}
 	}

@@ -1,0 +1,144 @@
+package knn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/traj"
+)
+
+// geoWalk is randWalk on valid lat/lng coordinates (haversine-safe):
+// a short noisy walk around a city-scale center.
+func geoWalk(r *rand.Rand, n int, lat, lng float64) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		lat += (r.Float64()*2 - 1) * 0.01
+		lng += (r.Float64()*2 - 1) * 0.01
+		pts[i] = geo.Point{Lat: lat, Lng: lng}
+	}
+	return traj.FromPoints(pts)
+}
+
+// parityDataset builds the corpus the tentpole's proof runs on: a few
+// trajectories near the query's city and many in distant cities, so the
+// index has real work (IndexPruned > 0) while twins keep the refinement
+// order non-trivial. Includes single-point trajectories (degenerate
+// MBRs), one per distant city.
+func parityDataset(r *rand.Rand) (query *traj.Trajectory, ds []*traj.Trajectory) {
+	centers := [][2]float64{{39.9, 116.4}, {37.97, 23.72}, {0.29, 36.9}, {48.85, 2.35}, {-33.87, 151.2}}
+	query = geoWalk(r, 20+r.Intn(20), centers[0][0], centers[0][1])
+	for i := 0; i < 6; i++ {
+		ds = append(ds, geoWalk(r, 15+r.Intn(25), centers[0][0]+r.Float64()*0.05, centers[0][1]+r.Float64()*0.05))
+	}
+	for _, c := range centers[1:] {
+		for i := 0; i < 5; i++ {
+			ds = append(ds, geoWalk(r, 15+r.Intn(25), c[0]+r.Float64()*0.2, c[1]+r.Float64()*0.2))
+		}
+		ds = append(ds, traj.FromPoints([]geo.Point{{Lat: c[0], Lng: c[1]}}))
+	}
+	return query, ds
+}
+
+// TestNearestIndexParity is the tentpole proof for knn: across metrics,
+// trials and k values (1 through beyond the dataset size), the indexed
+// search returns results AND effort stats byte-identical to the linear
+// scan, while actually pruning (cumulative IndexPruned > 0).
+func TestNearestIndexParity(t *testing.T) {
+	for _, df := range []geo.DistanceFunc{geo.Haversine, geo.Euclidean} {
+		r := rand.New(rand.NewSource(71))
+		var pruned int64
+		for trial := 0; trial < 8; trial++ {
+			query, ds := parityDataset(r)
+			ix, err := spatial.BuildIndex(ds, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 3, 7, len(ds), len(ds) + 5} {
+				plain, pst, err1 := Nearest(query, ds, k, &Options{Dist: df})
+				fast, fst, err2 := Nearest(query, ds, k, &Options{Dist: df, Index: ix})
+				if err1 != nil || err2 != nil {
+					t.Fatalf("trial %d k=%d: errors %v / %v", trial, k, err1, err2)
+				}
+				if fst.IndexConsulted != 1 {
+					t.Fatalf("trial %d k=%d: IndexConsulted = %d", trial, k, fst.IndexConsulted)
+				}
+				pruned += fst.IndexPruned
+				fst.IndexConsulted, fst.IndexPruned = 0, 0
+				if !reflect.DeepEqual(plain, fast) {
+					t.Fatalf("trial %d k=%d: results differ\nplain %+v\nindexed %+v", trial, k, plain, fast)
+				}
+				if pst != fst {
+					t.Fatalf("trial %d k=%d: stats differ\nplain %+v\nindexed %+v", trial, k, pst, fst)
+				}
+			}
+		}
+		if pruned == 0 {
+			t.Error("index never pruned a candidate on the parity corpus")
+		}
+	}
+}
+
+// TestNearestIndexEdges covers the inputs a pre-filter can silently
+// mishandle: k exceeding the dataset, k = 0, an empty dataset, and a
+// stale index missing a candidate.
+func TestNearestIndexEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	q := geoWalk(r, 10, 40, -74)
+	ds := []*traj.Trajectory{geoWalk(r, 10, 40.1, -74.1), geoWalk(r, 10, 51.5, 0)}
+	ix, err := spatial.BuildIndex(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Nearest(q, ds, 0, &Options{Index: ix}); err == nil {
+		t.Error("k=0 with index should error")
+	}
+	got, st, err := Nearest(q, ds, 10, &Options{Index: ix})
+	if err != nil || len(got) != 2 {
+		t.Errorf("k>len with index: %v, %d results", err, len(got))
+	}
+	if st.IndexPruned != 0 {
+		t.Errorf("k>len pruned %d candidates it had to return", st.IndexPruned)
+	}
+
+	empty, err := spatial.BuildIndex(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = Nearest(q, nil, 3, &Options{Index: empty})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty dataset with index: %v, %d results", err, len(got))
+	}
+
+	// An index that does not cover the dataset is a caller bug, not a
+	// silent wrong answer.
+	if _, _, err := Nearest(q, ds, 1, &Options{Index: empty}); err == nil {
+		t.Error("index missing the dataset should error")
+	}
+
+	// Single-point query and candidates (degenerate MBRs everywhere).
+	p1 := traj.FromPoints([]geo.Point{{Lat: 40, Lng: -74}})
+	ones := []*traj.Trajectory{
+		traj.FromPoints([]geo.Point{{Lat: 40.001, Lng: -74}}),
+		traj.FromPoints([]geo.Point{{Lat: -33, Lng: 151}}),
+	}
+	ix1, err := spatial.BuildIndex(ones, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, pst, err1 := Nearest(p1, ones, 1, nil)
+	fast, fst, err2 := Nearest(p1, ones, 1, &Options{Index: ix1})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("single-point: %v / %v", err1, err2)
+	}
+	fst.IndexConsulted, fst.IndexPruned = 0, 0
+	if !reflect.DeepEqual(plain, fast) || pst != fst {
+		t.Fatalf("single-point parity broke: %+v %+v vs %+v %+v", plain, pst, fast, fst)
+	}
+	if plain[0].Index != 0 {
+		t.Fatalf("nearest single point = %d, want 0", plain[0].Index)
+	}
+}

@@ -83,6 +83,10 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	requests atomic.Int64
+	// Cumulative spatial-index effort across /knn and /join requests,
+	// surfaced in GET /stats next to the cache-reuse counters.
+	indexConsulted atomic.Int64
+	indexPruned    atomic.Int64
 }
 
 // New builds a server around st. opt may be nil for defaults.
@@ -625,11 +629,19 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbrs, st, err := knn.Nearest(q, ds, req.K, &knn.Options{Dist: s.st.Dist()})
+	// The per-request index reuses the registry's cached MBRs (one lock
+	// acquisition); results and effort stats are byte-identical to the
+	// index-free search — only IndexPruned work is saved.
+	nbrs, st, err := knn.Nearest(q, ds, req.K, &knn.Options{
+		Dist:  s.st.Dist(),
+		Index: s.st.IndexFor(ids, ds),
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.indexConsulted.Add(st.IndexConsulted)
+	s.indexPruned.Add(st.IndexPruned)
 	out := knnResponse{Neighbors: make([]neighborResponse, len(nbrs)), Stats: st}
 	for k, nb := range nbrs {
 		out.Neighbors[k] = neighborResponse{ID: ids[nb.Index], Index: nb.Index, Distance: nb.Distance}
@@ -665,11 +677,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pairs, st, err := join.Join(ts, req.Eps, &join.Options{Dist: s.st.Dist(), Exact: req.Exact})
+	pairs, st, err := join.Join(ts, req.Eps, &join.Options{
+		Dist:  s.st.Dist(),
+		Exact: req.Exact,
+		Index: s.st.IndexFor(ids, ts),
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.indexConsulted.Add(st.IndexConsulted)
+	s.indexPruned.Add(st.IndexPruned)
 	out := joinResponse{Pairs: make([]joinPairResponse, len(pairs)), Stats: st}
 	for k, p := range pairs {
 		out.Pairs[k] = joinPairResponse{IDA: ids[p.I], IDB: ids[p.J], I: p.I, J: p.J, Distance: p.Distance}
@@ -736,6 +754,8 @@ type serverStats struct {
 	Evicted             int64  `json:"evicted"`
 	GridRebuildsAvoided int64  `json:"gridRebuildsAvoided"`
 	Removed             int64  `json:"removed"`
+	IndexConsulted      int64  `json:"indexConsulted"`
+	IndexPruned         int64  `json:"indexPruned"`
 	Requests            int64  `json:"requests"`
 	Uptime              string `json:"uptime"`
 }
@@ -752,6 +772,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Evicted:             st.Evicted,
 		GridRebuildsAvoided: st.GridRebuildsAvoided(),
 		Removed:             st.Removed,
+		IndexConsulted:      s.indexConsulted.Load(),
+		IndexPruned:         s.indexPruned.Load(),
 		Requests:            s.requests.Load(),
 		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),
 	})

@@ -1,0 +1,114 @@
+package spatial_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/join"
+	"trajmotif/internal/knn"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/traj"
+)
+
+// fuzzCorpus derives a deterministic trajectory set from the fuzz seed:
+// short random walks scattered over a seed-dependent extent, so some
+// runs cluster everything into one cell and others spread across the
+// grid, poles and antimeridian included.
+func fuzzCorpus(seed int64, n int) []*traj.Trajectory {
+	r := rand.New(rand.NewSource(seed))
+	latLim := 30 + r.Float64()*59.9
+	ts := make([]*traj.Trajectory, n)
+	for i := range ts {
+		lat := (r.Float64()*2 - 1) * latLim
+		lng := (r.Float64()*2 - 1) * 179.9
+		m := 1 + r.Intn(12)
+		pts := make([]geo.Point, m)
+		for k := range pts {
+			lat = math.Max(-90, math.Min(90, lat+(r.Float64()*2-1)*0.05))
+			lng += (r.Float64()*2 - 1) * 0.05
+			if lng > 180 {
+				lng -= 360
+			} else if lng < -180 {
+				lng += 360
+			}
+			pts[k] = geo.Point{Lat: lat, Lng: lng}
+		}
+		ts[i] = traj.FromPoints(pts)
+	}
+	return ts
+}
+
+// FuzzSpatialIndex drives the two oracles of the tentpole: Candidates is
+// a superset of the brute-force MinDist filter, and indexed knn/join
+// DeepEqual the unindexed searches — results and every shared stats
+// field.
+func FuzzSpatialIndex(f *testing.F) {
+	f.Add(int64(1), uint8(8), 5000.0)
+	f.Add(int64(42), uint8(20), 250000.0)
+	f.Add(int64(-7), uint8(3), 0.0)
+	f.Add(int64(99), uint8(1), 1e7)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, radius float64) {
+		count := int(n%24) + 1
+		if math.IsNaN(radius) || math.IsInf(radius, 0) {
+			radius = 1000
+		}
+		radius = math.Abs(radius)
+		ts := fuzzCorpus(seed, count)
+		ix, err := spatial.BuildIndex(ts, geo.Haversine)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Oracle 1: Candidates superset of the brute MinDist filter.
+		q, _ := ix.MBROf(0)
+		got := ix.Candidates(q, radius)
+		seen := make(map[int]bool, len(got))
+		for _, id := range got {
+			seen[id] = true
+		}
+		for i := range ts {
+			b, _ := ix.MBROf(i)
+			if spatial.HaversineMinDist(q, b) <= radius && !seen[i] {
+				t.Fatalf("candidate %d (MinDist %.6g <= %.6g) missing", i,
+					spatial.HaversineMinDist(q, b), radius)
+			}
+		}
+
+		// Oracle 2a: indexed knn == unindexed knn, stats included.
+		k := int(n%5) + 1
+		query, dataset := ts[0], ts[1:]
+		if len(dataset) > 0 {
+			ix2, err := spatial.BuildIndex(dataset, geo.Haversine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, pst, err1 := knn.Nearest(query, dataset, k, nil)
+			fast, fst, err2 := knn.Nearest(query, dataset, k, &knn.Options{Index: ix2})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("knn error mismatch: %v vs %v", err1, err2)
+			}
+			if err1 == nil {
+				fst.IndexConsulted, fst.IndexPruned = 0, 0
+				if !reflect.DeepEqual(plain, fast) || !reflect.DeepEqual(pst, fst) {
+					t.Fatalf("knn parity broke:\nplain %+v %+v\nindexed %+v %+v", plain, pst, fast, fst)
+				}
+			}
+		}
+
+		// Oracle 2b: indexed join == unindexed join, stats included.
+		plainP, pst, err1 := join.Join(ts, radius, nil)
+		fastP, fst, err2 := join.Join(ts, radius, &join.Options{Index: ix})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("join error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 == nil {
+			fst.IndexConsulted, fst.IndexPruned = 0, 0
+			if !reflect.DeepEqual(plainP, fastP) || !reflect.DeepEqual(pst, fst) {
+				t.Fatalf("join parity broke:\nplain %+v %+v\nindexed %+v %+v", plainP, pst, fastP, fst)
+			}
+		}
+	})
+}

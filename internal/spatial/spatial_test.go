@@ -1,0 +1,269 @@
+package spatial_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/traj"
+)
+
+// randMBR draws a box within the given extents, degenerate with
+// probability ~1/6 per axis (single-point trajectories are a satellite
+// concern of this PR).
+func randMBR(r *rand.Rand, latLim, lngLim float64) spatial.MBR {
+	lat0 := (r.Float64()*2 - 1) * latLim
+	lng0 := (r.Float64()*2 - 1) * lngLim
+	dLat, dLng := r.Float64()*5, r.Float64()*5
+	if r.Intn(6) == 0 {
+		dLat = 0
+	}
+	if r.Intn(6) == 0 {
+		dLng = 0
+	}
+	return spatial.MBR{
+		MinLat: lat0, MaxLat: math.Min(lat0+dLat, 90),
+		MinLng: lng0, MaxLng: math.Min(lng0+dLng, 180),
+	}
+}
+
+// randPointIn samples a point of the box uniformly, biased to include
+// the corners (where minima live).
+func randPointIn(r *rand.Rand, m spatial.MBR) geo.Point {
+	pick := func(lo, hi float64) float64 {
+		switch r.Intn(4) {
+		case 0:
+			return lo
+		case 1:
+			return hi
+		default:
+			return lo + r.Float64()*(hi-lo)
+		}
+	}
+	return geo.Point{Lat: pick(m.MinLat, m.MaxLat), Lng: pick(m.MinLng, m.MaxLng)}
+}
+
+// TestBoundFold pins Bound to the historical knn/join fold: running min
+// and max per axis, empty input inverted.
+func TestBoundFold(t *testing.T) {
+	pts := []geo.Point{{Lat: 3, Lng: -7}, {Lat: -1, Lng: 4}, {Lat: 2, Lng: 0}}
+	want := spatial.MBR{MinLat: -1, MaxLat: 3, MinLng: -7, MaxLng: 4}
+	if got := spatial.Bound(pts); got != want {
+		t.Fatalf("Bound = %+v, want %+v", got, want)
+	}
+	empty := spatial.Bound(nil)
+	if !math.IsInf(empty.MinLat, 1) || !math.IsInf(empty.MaxLat, -1) {
+		t.Fatalf("empty Bound not inverted: %+v", empty)
+	}
+}
+
+// TestMinDistSoundness is the contract test: MinDist(a, b) never exceeds
+// the ground distance between any sampled pair of box points, for both
+// recognized metrics, including extreme latitudes where the clamp-based
+// construction would be wrong.
+func TestMinDistSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	metrics := []struct {
+		name string
+		df   geo.DistanceFunc
+		md   spatial.MinDistFunc
+	}{
+		{"haversine", geo.Haversine, spatial.HaversineMinDist},
+		{"euclidean", geo.Euclidean, spatial.EuclideanMinDist},
+	}
+	for _, m := range metrics {
+		for trial := 0; trial < 2000; trial++ {
+			latLim := 60.0
+			if trial%5 == 0 {
+				latLim = 89.9 // polar stress
+			}
+			a, b := randMBR(r, latLim, 175), randMBR(r, latLim, 175)
+			lb := m.md(a, b)
+			for s := 0; s < 12; s++ {
+				p, q := randPointIn(r, a), randPointIn(r, b)
+				if d := m.df(p, q); d < lb {
+					t.Fatalf("%s trial %d: MinDist %.12g exceeds d(%v, %v) = %.12g\na=%+v b=%+v",
+						m.name, trial, lb, p, q, d, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMinDistClampCounterexample pins the reason MinDist avoids the
+// clamp construction: at extreme latitudes the distance to the clamped
+// point exceeds the distance to another box point, so clamping is not a
+// lower bound — while MinDist stays below both.
+func TestMinDistClampCounterexample(t *testing.T) {
+	p := geo.Point{Lat: 0, Lng: 0}
+	box := spatial.MBR{MinLat: 60, MaxLat: 80, MinLng: 100, MaxLng: 100}
+	clamped := geo.Haversine(p, box.Clamp(p))
+	far := geo.Haversine(p, geo.Point{Lat: 80, Lng: 100})
+	if clamped <= far {
+		t.Skipf("construction no longer demonstrates the clamp overshoot (%g <= %g)", clamped, far)
+	}
+	pb := spatial.Bound([]geo.Point{p})
+	if lb := spatial.HaversineMinDist(pb, box); lb > far {
+		t.Fatalf("HaversineMinDist %g exceeds a real box distance %g", lb, far)
+	}
+}
+
+// TestCandidatesSuperset: every indexed id whose MinDist to the query is
+// within the radius must appear among the candidates, across random
+// boxes including polar and antimeridian-adjacent ones.
+func TestCandidatesSuperset(t *testing.T) {
+	r := rand.New(rand.NewSource(602))
+	for trial := 0; trial < 300; trial++ {
+		ix := spatial.NewIndex(nil) // haversine
+		n := 5 + r.Intn(40)
+		boxes := make([]spatial.MBR, n)
+		for i := range boxes {
+			boxes[i] = randMBR(r, 89.9, 179.9)
+			ix.Insert(i, boxes[i])
+		}
+		q := randMBR(r, 89.9, 179.9)
+		radius := math.Pow(10, 3+r.Float64()*4) // 1 km .. 10^7 m
+		got := ix.Candidates(q, radius)
+		seen := make(map[int]bool, len(got))
+		for _, id := range got {
+			seen[id] = true
+		}
+		for i, b := range boxes {
+			if spatial.HaversineMinDist(q, b) <= radius && !seen[i] {
+				t.Fatalf("trial %d: id %d (MinDist %.6g <= radius %.6g) missing from candidates\nq=%+v b=%+v",
+					trial, i, spatial.HaversineMinDist(q, b), radius, q, b)
+			}
+		}
+		for k := 1; k < len(got); k++ {
+			if got[k-1] >= got[k] {
+				t.Fatalf("trial %d: candidates not in ascending id order: %v", trial, got)
+			}
+		}
+	}
+}
+
+// TestCandidatesEdges covers the degenerate radii and the unrecognized-
+// metric fallback.
+func TestCandidatesEdges(t *testing.T) {
+	ix := spatial.NewIndex(nil)
+	for i := 0; i < 5; i++ {
+		ix.Insert(i, spatial.MBR{MinLat: float64(i), MaxLat: float64(i), MinLng: 0, MaxLng: 0})
+	}
+	q := spatial.MBR{MinLat: 0, MaxLat: 0, MinLng: 0, MaxLng: 0}
+	if got := ix.Candidates(q, -1); got != nil {
+		t.Errorf("negative radius returned %v", got)
+	}
+	if got := ix.Candidates(q, math.Inf(1)); len(got) != 5 {
+		t.Errorf("infinite radius returned %d of 5", len(got))
+	}
+	if got := ix.Candidates(q, 0); len(got) == 0 {
+		t.Error("zero radius dropped the touching box")
+	}
+
+	// Unrecognized metric: index stays consistent but never prunes.
+	custom := func(p, q geo.Point) float64 { return geo.Haversine(p, q) * 2 }
+	ix2 := spatial.NewIndex(&spatial.IndexOptions{Dist: custom})
+	if ix2.Pruning() {
+		t.Error("unrecognized metric claims pruning")
+	}
+	ix2.Insert(7, spatial.MBR{MinLat: 50, MaxLat: 51, MinLng: 50, MaxLng: 51})
+	if got := ix2.Candidates(q, 1); len(got) != 1 || got[0] != 7 {
+		t.Errorf("unrecognized metric must return everything, got %v", got)
+	}
+	if d := ix2.MinDist(q, spatial.MBR{MinLat: 80, MaxLat: 80, MinLng: 0, MaxLng: 0}); d != 0 {
+		t.Errorf("unrecognized MinDist = %g, want 0", d)
+	}
+}
+
+// TestInsertRemove exercises the incremental maintenance: removal
+// deletes exactly one id, reinsertion replaces the box, polar and
+// oversize boxes round-trip through the overflow list.
+func TestInsertRemove(t *testing.T) {
+	ix := spatial.NewIndex(nil)
+	boxes := map[int]spatial.MBR{
+		0: {MinLat: 10, MaxLat: 11, MinLng: 10, MaxLng: 11},
+		1: {MinLat: 88, MaxLat: 89, MinLng: 0, MaxLng: 1},       // polar: overflow
+		2: {MinLat: -60, MaxLat: 60, MinLng: -170, MaxLng: 170}, // oversize: overflow
+		3: {MinLat: 10.2, MaxLat: 10.4, MinLng: 10.2, MaxLng: 10.4},
+	}
+	for id, b := range boxes {
+		ix.Insert(id, b)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	all := ix.Candidates(spatial.MBR{MinLat: 10, MaxLat: 10, MinLng: 10, MaxLng: 10}, math.Inf(1))
+	if len(all) != 4 {
+		t.Fatalf("infinite-radius candidates = %v, want all 4", all)
+	}
+	if !ix.Remove(1) || ix.Remove(1) {
+		t.Fatal("Remove(1) should succeed exactly once")
+	}
+	if _, ok := ix.MBROf(1); ok {
+		t.Fatal("removed id still has an MBR")
+	}
+	for _, id := range ix.Candidates(spatial.MBR{MinLat: 88, MaxLat: 88, MinLng: 0, MaxLng: 0}, math.Inf(1)) {
+		if id == 1 {
+			t.Fatal("removed id still yielded by Candidates")
+		}
+	}
+	// Replace id 0 with a faraway box; the old cells must not leak it.
+	ix.Insert(0, spatial.MBR{MinLat: -40, MaxLat: -39, MinLng: -40, MaxLng: -39})
+	near := ix.Candidates(spatial.MBR{MinLat: 10.3, MaxLat: 10.3, MinLng: 10.3, MaxLng: 10.3}, 1000)
+	for _, id := range near {
+		if id == 0 {
+			t.Fatal("stale cells still yield a replaced id")
+		}
+	}
+	found := false
+	for _, id := range ix.Candidates(spatial.MBR{MinLat: -39.5, MaxLat: -39.5, MinLng: -39.5, MaxLng: -39.5}, 1000) {
+		found = found || id == 0
+	}
+	if !found {
+		t.Fatal("replaced id not found at its new location")
+	}
+}
+
+// TestCandidatesAntimeridian: boxes on either side of ±180 are mutual
+// candidates at small radii — the cyclic gap, not the coordinate gap,
+// governs.
+func TestCandidatesAntimeridian(t *testing.T) {
+	ix := spatial.NewIndex(nil)
+	east := spatial.MBR{MinLat: 0, MaxLat: 1, MinLng: 179.5, MaxLng: 179.9}
+	west := spatial.MBR{MinLat: 0, MaxLat: 1, MinLng: -179.9, MaxLng: -179.5}
+	ix.Insert(0, east)
+	ix.Insert(1, west)
+	gap := spatial.HaversineMinDist(east, west)
+	if gap > 100_000 {
+		t.Fatalf("antimeridian MinDist %.0f m treats the seam as far", gap)
+	}
+	got := ix.Candidates(west, gap+1000)
+	if len(got) != 2 {
+		t.Fatalf("west query near the seam found %v, want both ids", got)
+	}
+}
+
+// TestBuildIndex validates the slice constructor and its rejection of
+// nil/empty members.
+func TestBuildIndex(t *testing.T) {
+	ts := []*traj.Trajectory{
+		traj.FromPoints([]geo.Point{{Lat: 1, Lng: 1}, {Lat: 2, Lng: 2}}),
+		traj.FromPoints([]geo.Point{{Lat: 50, Lng: 50}}),
+	}
+	ix, err := spatial.BuildIndex(ts, geo.Haversine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	mb, ok := ix.MBROf(0)
+	if !ok || mb != spatial.Bound(ts[0].Points) {
+		t.Fatalf("MBROf(0) = %+v, want the Bound fold", mb)
+	}
+	if _, err := spatial.BuildIndex([]*traj.Trajectory{nil}, nil); err == nil {
+		t.Fatal("nil trajectory accepted")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"trajmotif/internal/core"
 	"trajmotif/internal/dmatrix"
 	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
 	"trajmotif/internal/traj"
 )
 
@@ -129,6 +130,18 @@ type Store struct {
 	order    []ID // insertion order, for deterministic listings
 	hashMemo map[dataKey]ID
 
+	// Spatial side-index, maintained under the same mutex as the
+	// registry so every snapshot the handlers take is consistent:
+	// trajectories are immutable, so a cached MBR is always equal to
+	// spatial.Bound of its points. The index keys by small integer
+	// handles (spatial.Index wants ints; content IDs are 64-hex strings)
+	// assigned in insertion order and never reused.
+	mbrs       map[ID]spatial.MBR
+	sindex     *spatial.Index
+	handles    map[ID]int
+	handleID   map[int]ID
+	nextHandle int
+
 	cache map[artifactKey]*entry
 	lru   *list.List // front = most recently used
 	bytes int64
@@ -158,6 +171,10 @@ func New(opt *Options) *Store {
 		budget:   budget,
 		trajs:    make(map[ID]*traj.Trajectory),
 		hashMemo: make(map[dataKey]ID),
+		mbrs:     make(map[ID]spatial.MBR),
+		sindex:   spatial.NewIndex(&spatial.IndexOptions{Dist: df}),
+		handles:  make(map[ID]int),
+		handleID: make(map[int]ID),
 		cache:    make(map[artifactKey]*entry),
 		lru:      list.New(),
 	}
@@ -210,6 +227,13 @@ func (s *Store) Add(t *traj.Trajectory) (id ID, created bool, err error) {
 	s.trajs[id] = t
 	s.order = append(s.order, id)
 	s.memoLocked(t.Points)
+	mbr := spatial.Bound(t.Points)
+	s.mbrs[id] = mbr
+	h := s.nextHandle
+	s.nextHandle++
+	s.handles[id] = h
+	s.handleID[h] = id
+	s.sindex.Insert(h, mbr)
 	return id, true, nil
 }
 
@@ -263,6 +287,12 @@ func (s *Store) Remove(id ID) bool {
 			break
 		}
 	}
+	if h, ok := s.handles[id]; ok {
+		s.sindex.Remove(h)
+		delete(s.handles, id)
+		delete(s.handleID, h)
+	}
+	delete(s.mbrs, id)
 	pid := s.idForLocked(t.Points)
 	delete(s.hashMemo, dataKey{ptr: &t.Points[0], n: len(t.Points)})
 	for key, e := range s.cache {
@@ -302,6 +332,86 @@ func (s *Store) IDs() []ID {
 // Dist returns the ground distance the store's artifacts are computed
 // under.
 func (s *Store) Dist() geo.DistanceFunc { return s.df }
+
+// MBRFor returns the bounding box of a trajectory, from the registry's
+// cache when id is registered, recomputed otherwise (trajectories are
+// immutable, so both are the identical spatial.Bound fold — a raced
+// Remove can only cost the recompute, never yield a different box).
+func (s *Store) MBRFor(id ID, t *traj.Trajectory) spatial.MBR {
+	s.mu.Lock()
+	mbr, ok := s.mbrs[id]
+	s.mu.Unlock()
+	if ok {
+		return mbr
+	}
+	return spatial.Bound(t.Points)
+}
+
+// IndexFor builds a position-keyed spatial index over a resolved dataset
+// — the shape knn.Options.Index and join.Options.Index consume — reusing
+// the registry's cached MBRs under one lock acquisition. ids and ts are
+// parallel slices; entries that raced a Remove fall back to a pure
+// recompute, so the returned index always describes exactly the
+// trajectories the caller is about to search.
+func (s *Store) IndexFor(ids []ID, ts []*traj.Trajectory) *spatial.Index {
+	ix := spatial.NewIndex(&spatial.IndexOptions{Dist: s.df})
+	s.mu.Lock()
+	for k, t := range ts {
+		mbr, ok := s.mbrs[ids[k]]
+		if !ok {
+			mbr = spatial.Bound(t.Points)
+		}
+		ix.Insert(k, mbr)
+	}
+	s.mu.Unlock()
+	return ix
+}
+
+// SpatialCandidates lists the registered trajectories whose MBRs lie
+// within radius of q under the store's ground distance (a sound superset:
+// MinDist lower-bounds every point-to-point distance), in insertion
+// order. Radius semantics follow spatial.Index.Candidates.
+func (s *Store) SpatialCandidates(q spatial.MBR, radius float64) []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs := s.sindex.Candidates(q, radius)
+	// Handles are assigned in insertion order and never reused, so the
+	// sorted handles Candidates returns are already in insertion order.
+	out := make([]ID, 0, len(hs))
+	for _, h := range hs {
+		if id, ok := s.handleID[h]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SpatialParity cross-checks the maintained index against the registry
+// under one lock acquisition: missing lists live trajectories the index
+// lacks (or holds under a wrong box), stale counts index entries whose
+// trajectory is gone. Both are always empty/zero — the churn regression
+// test calls this while Add/Remove race the query handlers.
+func (s *Store) SpatialParity() (missing []ID, stale int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		h, ok := s.handles[id]
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		mbr, ok := s.sindex.MBROf(h)
+		if !ok || mbr != spatial.Bound(s.trajs[id].Points) {
+			missing = append(missing, id)
+		}
+	}
+	for _, h := range s.sindex.IDs() {
+		if _, ok := s.handleID[h]; !ok {
+			stale++
+		}
+	}
+	return missing, stale
+}
 
 // Stats snapshots the registry and cache state.
 func (s *Store) Stats() Stats {

@@ -49,6 +49,7 @@ import (
 	"trajmotif/internal/knn"
 	"trajmotif/internal/prep"
 	"trajmotif/internal/serve"
+	"trajmotif/internal/spatial"
 	"trajmotif/internal/store"
 	"trajmotif/internal/symbolic"
 	"trajmotif/internal/traj"
@@ -304,6 +305,9 @@ type (
 	BatchPairItem = batch.PairItem
 	// BatchOptions tunes worker count, τ and per-search options.
 	BatchOptions = batch.Options
+	// BatchIndexStats receives the spatial prefilter's effort counters
+	// from a streaming all-pairs run (BatchOptions.IndexStats).
+	BatchIndexStats = batch.IndexStats
 )
 
 // DiscoverBatch runs motif discovery on every trajectory concurrently.
@@ -408,6 +412,39 @@ type (
 // query under DFD, with lower-bound pruning and early-abandoning DFD.
 func NearestTrajectories(query *Trajectory, dataset []*Trajectory, k int, opt *KNNOptions) ([]Neighbor, KNNStats, error) {
 	return knn.Nearest(query, dataset, k, opt)
+}
+
+// Spatial indexing (see internal/spatial): a uniform-grid index over
+// trajectory MBRs whose MinDist lower-bounds the ground distance — and
+// therefore the DFD — between any points of two trajectories. Passing an
+// index via KNNOptions.Index or JoinOptions.Index prunes candidates
+// sub-linearly while returning results and effort statistics
+// byte-identical to the linear scan (the README's "Spatial indexing"
+// section states the soundness argument).
+type (
+	// MBR is a minimum bounding rectangle in degrees, possibly spanning
+	// the antimeridian.
+	MBR = spatial.MBR
+	// SpatialIndex is the uniform-grid MBR index consulted by the k-NN,
+	// join and batch retrieval paths.
+	SpatialIndex = spatial.Index
+	// SpatialIndexOptions configures a SpatialIndex (ground distance,
+	// cell size, overflow threshold).
+	SpatialIndexOptions = spatial.IndexOptions
+)
+
+// BoundMBR folds a point sequence into its minimum bounding rectangle.
+func BoundMBR(points []Point) MBR { return spatial.Bound(points) }
+
+// NewSpatialIndex creates an empty index; opt may be nil for defaults
+// (haversine ground distance, DefaultCell degree cells).
+func NewSpatialIndex(opt *SpatialIndexOptions) *SpatialIndex { return spatial.NewIndex(opt) }
+
+// BuildSpatialIndex indexes a dataset slice by position, keyed the way
+// NearestTrajectories and SimilarityJoin expect. df may be nil for
+// haversine and must match the Dist the search runs with.
+func BuildSpatialIndex(ts []*Trajectory, df DistanceFunc) (*SpatialIndex, error) {
+	return spatial.BuildIndex(ts, df)
 }
 
 // Serve mode (see internal/store and internal/serve): a long-running
