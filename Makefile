@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # suites land; never lower it to paper over a regression.
 COVER_MIN ?= 73.0
 
-.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke cover
+.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke load-smoke cover
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ cover:
 # identical /discover request rebuilds zero grids.
 serve-smoke:
 	$(GO) test -run '^TestServeSmokeBinary$$' -count=1 -v ./cmd/motifserve
+
+# End-to-end load smoke: build the motifload binary and replay a mixed
+# concurrent read/write workload against a self-hosted capped server.
+# The binary exits non-zero on any hardening violation — a 5xx, an
+# unbounded registry, no LRU churn, or an unparseable /metrics scrape.
+load-smoke:
+	$(GO) test -run '^TestLoadSmokeBinary$$' -count=1 -v ./cmd/motifload
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

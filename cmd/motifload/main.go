@@ -1,0 +1,84 @@
+// Command motifload replays a mixed read/write workload against a
+// motifserve endpoint and fails (exit 1) if any production-hardening
+// invariant breaks: a 5xx response, a transport error, an unparseable
+// /metrics exposition, or — when the registry cap is known — a registry
+// that outgrew it.
+//
+// Usage:
+//
+//	motifload -addr http://127.0.0.1:8080 -n 400 -c 8
+//	motifload -n 400 -c 8            # no -addr: self-hosts a capped server
+//
+// Without -addr the command starts an in-process motifserve with a
+// deliberately tight registry cap and admission limit, so the run
+// exercises eviction and load-shedding end to end; in that mode it
+// additionally requires that LRU eviction actually happened. This is
+// the `make load-smoke` entry point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"trajmotif"
+	"trajmotif/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server base URL (e.g. http://127.0.0.1:8080); empty self-hosts a capped in-process server")
+	n := flag.Int("n", 400, "total requests across all workers")
+	c := flag.Int("c", 8, "concurrent client workers")
+	seed := flag.Int64("seed", 1, "workload seed (same seed = same op sequence)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	maxTraj := flag.Int("max-trajectories", 24, "self-host mode: registry cap to prove bounded (0 = unbounded; ignored with -addr)")
+	maxConc := flag.Int("max-concurrent", 2, "self-host mode: admission capacity (ignored with -addr)")
+	flag.Parse()
+
+	base := *addr
+	knownCap := 0
+	selfHosted := base == ""
+	if selfHosted {
+		st := trajmotif.NewStore(&trajmotif.StoreOptions{MaxTrajectories: *maxTraj})
+		srv := trajmotif.NewServer(st, &trajmotif.ServerOptions{
+			Workers:               1,
+			MaxConcurrentSearches: *maxConc,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifload: %v\n", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(ln, srv) }()
+		base = "http://" + ln.Addr().String()
+		knownCap = *maxTraj
+		fmt.Printf("motifload self-hosting on %s (max-trajectories %d, max-concurrent %d)\n",
+			base, *maxTraj, *maxConc)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     base,
+		Concurrency: *c,
+		Requests:    *n,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+
+	if err := rep.Check(knownCap); err != nil {
+		fmt.Fprintf(os.Stderr, "motifload: invariant violated: %v\n", err)
+		os.Exit(1)
+	}
+	if selfHosted && knownCap > 0 && rep.EvictedLRU == 0 {
+		fmt.Fprintln(os.Stderr, "motifload: invariant violated: capped self-hosted run saw no LRU evictions")
+		os.Exit(1)
+	}
+	fmt.Println("motifload ok")
+}

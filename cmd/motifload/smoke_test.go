@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSmokeBinary is the end-to-end harness behind `make
+// load-smoke`: build the real motifload binary and run it self-hosted
+// (which also builds the server stack into the binary), asserting a
+// clean exit and the invariant summary. The binary itself enforces the
+// hardening invariants — zero 5xx, bounded registry, LRU churn
+// observed, /metrics parseable — so a non-zero exit is the failure.
+func TestLoadSmokeBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "motifload")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-n", "300", "-c", "6", "-seed", "3")
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("motifload failed: %v\nstdout: %s\nstderr: %s", err, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"motifload self-hosting", "evictedLRU=", "motifload ok"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	t.Logf("\n%s", text)
+}

@@ -7,25 +7,32 @@
 //
 //	motifserve -addr :8080
 //	motifserve -addr 127.0.0.1:0 -cache-bytes 1073741824 -workers 4
+//	motifserve -max-trajectories 10000 -traj-ttl 1h -max-concurrent 8
 //
 // Endpoints (all JSON; see the README's "Serve mode" section):
 //
 //	POST /trajectories  {"points": [[lat,lng],...], "times": [unix...]}
 //	POST /discover      {"id": "...", "xi": 100}
 //	POST /discover/pairs, /topk, /knn, /join, /cluster
-//	GET  /healthz, /stats
+//	GET  /healthz, /stats, /metrics
 //
 // The listen line "motifserve listening on <host:port>" is printed once
 // the socket is bound, so wrappers can pass port 0 and scrape the
-// assigned port.
+// assigned port. SIGINT/SIGTERM drain in-flight requests for up to
+// -shutdown-grace before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"trajmotif"
 )
@@ -35,10 +42,30 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", trajmotif.DefaultCacheBytes, "artifact cache budget in bytes (negative disables caching)")
 	workers := flag.Int("workers", 0, "default within-search workers for requests that don't specify one; 0 = GOMAXPROCS")
 	maxBody := flag.Int64("max-body-bytes", 0, "request body cap in bytes; 0 = 64 MiB default, negative disables the cap")
+	maxTraj := flag.Int("max-trajectories", 0, "registry capacity; least-recently-used trajectories are evicted beyond it (0 = unbounded)")
+	trajTTL := flag.Duration("traj-ttl", 0, "idle trajectory lifetime; expired entries are evicted on the next registry access (0 = no expiry)")
+	maxConc := flag.Int("max-concurrent", 0, "global cap on in-flight search workers; 0 = GOMAXPROCS, negative disables admission control")
+	maxQueued := flag.Int("max-queued", 0, "search requests allowed to wait for admission; 0 = 4x capacity (floor 16), negative disables queueing")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued search waits before 429; 0 = 5s default")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout (covers large bulk uploads)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout (covers cold full-corpus joins)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	flag.Parse()
 
-	st := trajmotif.NewStore(&trajmotif.StoreOptions{CacheBytes: *cacheBytes})
-	srv := trajmotif.NewServer(st, &trajmotif.ServerOptions{Workers: *workers, MaxBodyBytes: *maxBody})
+	st := trajmotif.NewStore(&trajmotif.StoreOptions{
+		CacheBytes:      *cacheBytes,
+		MaxTrajectories: *maxTraj,
+		TrajectoryTTL:   *trajTTL,
+	})
+	srv := trajmotif.NewServer(st, &trajmotif.ServerOptions{
+		Workers:               *workers,
+		MaxBodyBytes:          *maxBody,
+		MaxConcurrentSearches: *maxConc,
+		MaxQueuedSearches:     *maxQueued,
+		QueueWait:             *queueWait,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -46,8 +73,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("motifserve listening on %s\n", ln.Addr())
-	if err := http.Serve(ln, srv); err != nil {
-		fmt.Fprintf(os.Stderr, "motifserve: %v\n", err)
-		os.Exit(1)
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "motifserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		fmt.Println("motifserve draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "motifserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("motifserve stopped")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -168,4 +169,91 @@ func TestServeSmokeBinary(t *testing.T) {
 	}
 	fmt.Printf("serve-smoke: motif %.2fm, second request avoided %d rebuilds (store built %d, reused %d)\n",
 		second.Distance, second.Stats.GridRebuildsAvoided, afterSecond.Built, afterSecond.Reused)
+
+	// The binary exposes Prometheus text metrics that reflect the
+	// traffic above.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var sb bytes.Buffer
+	if _, err := sb.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metricsText := sb.String()
+	for _, want := range []string{
+		`motifserve_requests_total{endpoint="/discover",code="200"} 2`,
+		"motifserve_trajectories 1",
+		"# TYPE motifserve_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeGracefulShutdown builds the binary, signals it with SIGTERM
+// and asserts the drain path runs to a clean exit.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "motifserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-shutdown-grace", "5s")
+	var out bytes.Buffer
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr := line[strings.LastIndex(line, " ")+1:]
+
+	// Make sure the server accepts before signalling.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+		out.WriteString(sc.Text() + "\n")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v (output: %s)", err, out.String())
+	}
+	for _, want := range []string{"motifserve draining", "motifserve stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("shutdown output missing %q: %s", want, out.String())
+		}
+	}
 }

@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"trajmotif/internal/serve"
+	"trajmotif/internal/store"
+)
+
+// TestRunAgainstCappedServer drives the mixed workload at an in-process
+// server with a tight registry cap and admission enabled, then checks
+// every hardening invariant the harness exists to prove. The CI race
+// job runs this under -race, so the workload doubles as a
+// client-plus-server concurrency shakeout.
+func TestRunAgainstCappedServer(t *testing.T) {
+	const cap = 8
+	st := store.New(&store.Options{MaxTrajectories: cap})
+	ts := httptest.NewServer(serve.New(st, &serve.Options{
+		Workers:               1,
+		MaxConcurrentSearches: 2,
+	}))
+	t.Cleanup(ts.Close)
+
+	rep, err := Run(Config{BaseURL: ts.URL, Concurrency: 4, Requests: 160, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if err := rep.Check(cap); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 160 {
+		t.Errorf("ran %d ops, want 160", rep.Ops)
+	}
+	// The workload uploads ~30% of 160 ops over a cap of 8: the LRU
+	// must have churned.
+	if rep.EvictedLRU == 0 {
+		t.Error("capped registry saw no LRU evictions under the upload mix")
+	}
+	if rep.ByOp["upload"] == 0 || rep.ByOp["discover"] == 0 {
+		t.Errorf("op mix degenerate: %v", rep.ByOp)
+	}
+}
+
+// TestRunDeterministicMix: two runs with the same seed issue the same
+// op sequence (transport-level results may differ; the generator side
+// must not).
+func TestRunDeterministicMix(t *testing.T) {
+	mk := func() *Report {
+		st := store.New(nil)
+		ts := httptest.NewServer(serve.New(st, &serve.Options{Workers: 1}))
+		defer ts.Close()
+		rep, err := Run(Config{BaseURL: ts.URL, Concurrency: 2, Requests: 60, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := mk(), mk()
+	for op, n := range a.ByOp {
+		if b.ByOp[op] != n {
+			t.Errorf("op %s: %d vs %d across identical seeds", op, n, b.ByOp[op])
+		}
+	}
+}
+
+// TestCheckRejectsViolations: the invariant checker actually fails on
+// the failure classes it guards.
+func TestCheckRejectsViolations(t *testing.T) {
+	base := func() *Report {
+		return &Report{ByStatus: map[int]int{200: 10}, MetricsSamples: 5}
+	}
+	if err := base().Check(0); err != nil {
+		t.Errorf("clean report rejected: %v", err)
+	}
+	r := base()
+	r.ServerErrors = 1
+	if r.Check(0) == nil {
+		t.Error("5xx not rejected")
+	}
+	r = base()
+	r.TransportErrors = 2
+	if r.Check(0) == nil {
+		t.Error("transport errors not rejected")
+	}
+	r = base()
+	r.MetricsErr = "boom"
+	if r.Check(0) == nil {
+		t.Error("metrics failure not rejected")
+	}
+	r = base()
+	r.FinalTrajectories = 9
+	if r.Check(8) == nil {
+		t.Error("registry over cap not rejected")
+	}
+	if r.Check(0) != nil {
+		t.Error("cap check should be skipped when the cap is unknown")
+	}
+}

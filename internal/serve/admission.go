@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"time"
+)
+
+// admission is the server's global admission controller: a FIFO
+// weighted semaphore over search-worker slots. Every search request
+// acquires weight equal to the worker count it will run with, so the
+// total number of in-flight search workers — not merely requests — is
+// bounded by the capacity regardless of per-request worker settings.
+//
+// Queueing is bounded two ways: at most maxQueue requests wait at once
+// (beyond that, immediate rejection) and no request waits longer than
+// maxWait (rejection on timeout). Rejected requests surface as 429 +
+// Retry-After; admission never changes what an admitted request
+// computes, so byte-identical determinism per request is preserved —
+// only aggregate concurrency is shaped.
+//
+// The implementation is dependency-free by design (no golang.org/x/sync
+// in the tree): a mutex-free channel handshake per waiter under one
+// small critical section, FIFO so a heavy request cannot be starved by
+// a stream of light ones slipping past it.
+type admission struct {
+	capacity int64
+	maxQueue int
+	maxWait  time.Duration
+
+	mu      chMutex
+	inUse   int64
+	waiters list.List // of *waiter, front = oldest
+}
+
+// chMutex is a channel-based mutex: tiny, and select-friendly if this
+// ever needs context cancellation.
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+// waiter is one queued acquisition. granted is closed by the releaser
+// that admits it (the weight is already charged by then); elem lets a
+// timed-out waiter remove itself.
+type waiter struct {
+	weight  int64
+	granted chan struct{}
+	elem    *list.Element
+}
+
+// newAdmission builds a controller admitting up to capacity worker
+// slots, queueing at most maxQueue requests for at most maxWait each.
+func newAdmission(capacity int64, maxQueue int, maxWait time.Duration) *admission {
+	a := &admission{
+		capacity: capacity,
+		maxQueue: maxQueue,
+		maxWait:  maxWait,
+		mu:       make(chMutex, 1),
+	}
+	return a
+}
+
+// acquire blocks until weight worker slots are available, the queue
+// overflows, or maxWait elapses. On success it returns the weight
+// actually charged (a weight above the whole capacity is clamped — an
+// oversized request admits alone rather than deadlocking) which the
+// caller must hand back to release.
+func (a *admission) acquire(weight int64) (charged int64, ok bool) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.lock()
+	// Fast path only when nobody is queued ahead — FIFO, not barging.
+	if a.waiters.Len() == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.mu.unlock()
+		return weight, true
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.unlock()
+		return 0, false
+	}
+	w := &waiter{weight: weight, granted: make(chan struct{})}
+	w.elem = a.waiters.PushBack(w)
+	a.mu.unlock()
+
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return weight, true
+	case <-timer.C:
+	}
+	a.mu.lock()
+	select {
+	case <-w.granted:
+		// A release granted us between the timeout and the lock; the
+		// weight is charged, so the admission stands.
+		a.mu.unlock()
+		return weight, true
+	default:
+	}
+	a.waiters.Remove(w.elem)
+	a.mu.unlock()
+	return 0, false
+}
+
+// release returns weight slots and admits queued waiters in FIFO order
+// while they fit. weight must be the charged value acquire returned.
+func (a *admission) release(weight int64) {
+	a.mu.lock()
+	a.inUse -= weight
+	for {
+		front := a.waiters.Front()
+		if front == nil {
+			break
+		}
+		w := front.Value.(*waiter)
+		if a.inUse+w.weight > a.capacity {
+			break
+		}
+		a.waiters.Remove(front)
+		a.inUse += w.weight
+		close(w.granted)
+	}
+	a.mu.unlock()
+}
+
+// snapshot reports the in-use worker slots and queue depth (for
+// /metrics gauges).
+func (a *admission) snapshot() (inUse int64, queued int) {
+	a.mu.lock()
+	inUse, queued = a.inUse, a.waiters.Len()
+	a.mu.unlock()
+	return inUse, queued
+}

@@ -17,6 +17,7 @@
 //	POST /cluster         subtrajectory clustering of one trajectory
 //	GET  /healthz         liveness + uptime
 //	GET  /stats           store and cache statistics, cumulative reuse
+//	GET  /metrics         Prometheus text exposition of the same counters
 //
 // Every search runs with core.Options.Artifacts pointed at the store, so
 // a repeated /discover computes zero new grids (visible per-response in
@@ -24,12 +25,21 @@
 // answers are byte-identical to uncached library calls for every worker
 // count; see internal/store for the argument.
 //
-// Resource bounds: request bodies are capped (Options.MaxBodyBytes,
-// default 64 MiB; bulk uploads additionally decode record by record, so
-// they stream under the cap without buffering) and the artifact cache is
-// budgeted. The trajectory registry grows with every distinct upload;
-// DELETE /trajectories/{id} is the eviction primitive — an automatic
-// TTL/LRU policy on the registry remains a ROADMAP item.
+// Resource bounds, the production-traffic story:
+//
+//   - Request bodies are capped (Options.MaxBodyBytes, default 64 MiB;
+//     oversize bodies are 413s; bulk uploads decode record by record, so
+//     they stream under the cap without buffering).
+//   - The artifact cache is byte-budgeted, and the trajectory registry
+//     itself is bounded by the store's MaxTrajectories/TrajectoryTTL
+//     auto-eviction (touch on query; DELETE /trajectories/{id} remains
+//     the manual primitive).
+//   - Admission control bounds total in-flight search workers
+//     (Options.MaxConcurrentSearches): a request beyond capacity queues
+//     briefly and is otherwise rejected with 429 + Retry-After, so no
+//     traffic level can oversubscribe the box. Admitted requests compute
+//     exactly what they would alone — byte-identical determinism per
+//     request is untouched; only aggregate load is shaped.
 package serve
 
 import (
@@ -38,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -62,16 +73,38 @@ const defaultTau = 32
 // zero: 64 MiB, room for a multi-million-point trajectory upload.
 const DefaultMaxBodyBytes = 64 << 20
 
+// DefaultQueueWait bounds how long an admission-queued search request
+// waits for worker slots before being rejected with 429.
+const DefaultQueueWait = 5 * time.Second
+
 // Options configures a server.
 type Options struct {
 	// Workers is the within-search worker count applied to requests that
 	// do not specify their own; 0 selects GOMAXPROCS. Results are
 	// byte-identical for every count.
 	Workers int
-	// MaxBodyBytes caps every request body (oversize bodies fail the
-	// JSON decode with a 400). Zero selects DefaultMaxBodyBytes;
-	// negative disables the cap.
+	// MaxBodyBytes caps every request body (oversize bodies are
+	// rejected with 413). Zero selects DefaultMaxBodyBytes; negative
+	// disables the cap.
 	MaxBodyBytes int64
+	// MaxConcurrentSearches bounds the total search workers in flight
+	// across all requests (a request running W workers holds W slots
+	// for its duration), so every request can no longer spawn its own
+	// GOMAXPROCS workers under load. Zero selects GOMAXPROCS; negative
+	// disables admission control. Admission never changes what an
+	// admitted request computes — responses stay byte-identical — it
+	// only caps aggregate load.
+	MaxConcurrentSearches int
+	// MaxQueuedSearches bounds how many search requests may wait for
+	// admission at once; beyond it requests are rejected immediately
+	// with 429 + Retry-After. Zero selects 4 × MaxConcurrentSearches
+	// with a floor of 16, so single-core hosts still absorb modest
+	// bursts; negative disables queueing (reject as soon as slots are
+	// short).
+	MaxQueuedSearches int
+	// QueueWait bounds how long one queued request waits before 429.
+	// Zero selects DefaultQueueWait.
+	QueueWait time.Duration
 }
 
 // Server is the HTTP handler. Create with New; it is safe for concurrent
@@ -80,9 +113,13 @@ type Server struct {
 	st       *store.Store
 	workers  int
 	maxBody  int64
+	sem      *admission // nil: admission control disabled
+	capacity int64
 	mux      *http.ServeMux
+	met      *metrics
 	started  time.Time
 	requests atomic.Int64
+	rejected atomic.Int64
 	// Cumulative spatial-index effort across /knn and /join requests,
 	// surfaced in GET /stats next to the cache-reuse counters.
 	indexConsulted atomic.Int64
@@ -91,7 +128,10 @@ type Server struct {
 
 // New builds a server around st. opt may be nil for defaults.
 func New(st *store.Store, opt *Options) *Server {
-	s := &Server{st: st, maxBody: DefaultMaxBodyBytes, started: time.Now()}
+	s := &Server{st: st, maxBody: DefaultMaxBodyBytes, met: newMetrics(), started: time.Now()}
+	maxConc := 0
+	maxQueue := 0
+	queueWait := DefaultQueueWait
 	if opt != nil {
 		s.workers = opt.Workers
 		if opt.MaxBodyBytes > 0 {
@@ -99,6 +139,24 @@ func New(st *store.Store, opt *Options) *Server {
 		} else if opt.MaxBodyBytes < 0 {
 			s.maxBody = 0
 		}
+		maxConc = opt.MaxConcurrentSearches
+		maxQueue = opt.MaxQueuedSearches
+		if opt.QueueWait > 0 {
+			queueWait = opt.QueueWait
+		}
+	}
+	if maxConc >= 0 {
+		if maxConc == 0 {
+			maxConc = runtime.GOMAXPROCS(0)
+		}
+		switch {
+		case maxQueue == 0:
+			maxQueue = max(4*maxConc, 16)
+		case maxQueue < 0:
+			maxQueue = 0
+		}
+		s.capacity = int64(maxConc)
+		s.sem = newAdmission(int64(maxConc), maxQueue, queueWait)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /trajectories", s.handleTrajectories)
@@ -112,16 +170,73 @@ func New(st *store.Store, opt *Options) *Server {
 	s.mux.HandleFunc("POST /cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: body cap, then per-request
+// accounting (in-flight gauge, per-endpoint counters and latency
+// histogram, Server-Timing response header) around the mux dispatch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.maxBody > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	s.met.requestStarted()
+	rec := &statusRecorder{ResponseWriter: w, start: start}
+	s.mux.ServeHTTP(rec, r)
+	s.met.requestDone(endpointLabel(r), rec.status(), time.Since(start))
+}
+
+// endpointLabel maps a routed request to its metrics label: the mux
+// pattern's path (bounded cardinality — "/trajectories/{id}", never the
+// raw URL), or "unmatched" for 404/405 traffic.
+func endpointLabel(r *http.Request) string {
+	pat := r.Pattern
+	if pat == "" {
+		return "unmatched"
+	}
+	if _, path, ok := strings.Cut(pat, " "); ok {
+		return path
+	}
+	return pat
+}
+
+// admit applies admission control for a search about to run with the
+// request's within-search worker setting, writing the 429 (with
+// Retry-After) when the server is at capacity. On success the returned
+// release must be called when the search finishes.
+func (s *Server) admit(w http.ResponseWriter, workers int) (release func(), ok bool) {
+	return s.admitWeight(w, s.searchWeight(workers))
+}
+
+// admitWeight is admit with the worker count already resolved (the
+// /discover/pairs pool sizes itself from the request alone, bypassing
+// the server's within-search default).
+func (s *Server) admitWeight(w http.ResponseWriter, weight int) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	charged, ok := s.sem.acquire(int64(weight))
+	if !ok {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"server at capacity: %d search workers in flight; retry shortly", s.capacity)
+		return nil, false
+	}
+	return func() { s.sem.release(charged) }, true
+}
+
+// searchWeight is the worker count a request will actually run with —
+// the admission weight (resolveWorkers leaves 0 for "GOMAXPROCS at
+// search time", which is exactly GOMAXPROCS slots).
+func (s *Server) searchWeight(workers int) int {
+	if w := s.resolveWorkers(workers); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Store returns the trajectory store the server fronts.
@@ -230,11 +345,45 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if isBodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte limit", bodyLimit(err))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
+	// A well-formed body is exactly one JSON value: trailing data (a
+	// second concatenated object, stray tokens) is a malformed request,
+	// not something to silently ignore.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		if isBodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte limit", bodyLimit(err))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: trailing data after JSON value")
+		return false
+	}
 	return true
+}
+
+// isBodyTooLarge reports whether err (possibly wrapped) is the body-cap
+// trip from http.MaxBytesReader — a 413, not a generic 400.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// bodyLimit extracts the cap that tripped, for the 413 message.
+func bodyLimit(err error) int64 {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return mbe.Limit
+	}
+	return 0
 }
 
 // resolveDataset resolves the dataset of a /knn or /join request. With
@@ -385,6 +534,13 @@ func (s *Server) handleTrajectoriesBulk(w http.ResponseWriter, r *http.Request) 
 		}
 		if err != nil {
 			if resp.Stored == 0 && resp.Failed == 0 {
+				// An oversize upload that never yielded a record is a 413
+				// (the client must shrink or split it), not a generic 400.
+				if isBodyTooLarge(err) {
+					writeError(w, http.StatusRequestEntityTooLarge,
+						"request body exceeds the %d byte limit", bodyLimit(err))
+					return
+				}
 				writeError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
@@ -452,6 +608,11 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if tau <= 0 {
 		tau = defaultTau
 	}
+	release, ok := s.admit(w, req.Workers)
+	if !ok {
+		return
+	}
+	defer release()
 	opt := s.searchOptions(req.Workers, req.Epsilon)
 
 	var res *core.Result
@@ -533,6 +694,18 @@ func (s *Server) handleDiscoverPairs(w http.ResponseWriter, r *http.Request) {
 		}
 		ts[k] = t
 	}
+	// The pair pool is the parallel dimension here (within-search stays
+	// 1), so its width — req.Workers, 0 defaulting to GOMAXPROCS in the
+	// batch pool — is the admission weight.
+	poolWidth := req.Workers
+	if poolWidth <= 0 {
+		poolWidth = runtime.GOMAXPROCS(0)
+	}
+	release, ok := s.admitWeight(w, poolWidth)
+	if !ok {
+		return
+	}
+	defer release()
 	items, err := batch.DiscoverAllPairs(ts, req.Xi, &batch.Options{
 		Search:  s.searchOptions(1, 0), // within-search stays 1: the pair pool parallelizes
 		Tau:     req.Tau,
@@ -576,6 +749,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	release, ok := s.admit(w, req.Workers)
+	if !ok {
+		return
+	}
+	defer release()
 	opt := s.searchOptions(req.Workers, 0)
 	var results []core.Result
 	var err error
@@ -629,6 +807,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// k-NN runs single-threaded: one admission slot.
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	// The per-request index reuses the registry's cached MBRs (one lock
 	// acquisition); results and effort stats are byte-identical to the
 	// index-free search — only IndexPruned work is saved.
@@ -677,6 +861,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Join runs single-threaded: one admission slot.
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	pairs, st, err := join.Join(ts, req.Eps, &join.Options{
 		Dist:  s.st.Dist(),
 		Exact: req.Exact,
@@ -717,6 +907,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Clustering runs single-threaded: one admission slot.
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	clusters, err := cluster.Subtrajectories(t, req.Window, req.Eps, &cluster.Options{
 		Dist: s.st.Dist(), Stride: req.Stride, MinSize: req.MinSize,
 	})
@@ -754,9 +950,12 @@ type serverStats struct {
 	Evicted             int64  `json:"evicted"`
 	GridRebuildsAvoided int64  `json:"gridRebuildsAvoided"`
 	Removed             int64  `json:"removed"`
+	EvictedLRU          int64  `json:"evictedLRU"`
+	EvictedTTL          int64  `json:"evictedTTL"`
 	IndexConsulted      int64  `json:"indexConsulted"`
 	IndexPruned         int64  `json:"indexPruned"`
 	Requests            int64  `json:"requests"`
+	Rejected            int64  `json:"rejected"`
 	Uptime              string `json:"uptime"`
 }
 
@@ -772,11 +971,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Evicted:             st.Evicted,
 		GridRebuildsAvoided: st.GridRebuildsAvoided(),
 		Removed:             st.Removed,
+		EvictedLRU:          st.EvictedLRU,
+		EvictedTTL:          st.EvictedTTL,
 		IndexConsulted:      s.indexConsulted.Load(),
 		IndexPruned:         s.indexPruned.Load(),
 		Requests:            s.requests.Load(),
+		Rejected:            s.rejected.Load(),
 		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: per-endpoint
+// request counters and latency histograms, the in-flight gauge, and the
+// store/cache/index/eviction/admission counters — the same numbers
+// /stats reports as JSON, in the format a scraper ingests.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	live := liveCounters{
+		trajectories:    st.Trajectories,
+		artifacts:       st.Artifacts,
+		cacheBytes:      st.CacheBytes,
+		cacheBudget:     st.CacheBudget,
+		built:           st.Built,
+		reused:          st.Reused,
+		artifactEvicted: st.Evicted,
+		evictedManual:   st.Removed,
+		evictedLRU:      st.EvictedLRU,
+		evictedTTL:      st.EvictedTTL,
+		indexConsulted:  s.indexConsulted.Load(),
+		indexPruned:     s.indexPruned.Load(),
+		admissionReject: s.rejected.Load(),
+		uptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+	if s.sem != nil {
+		live.admissionEnabled = true
+		live.workerCapacity = s.capacity
+		live.admissionInUse, live.admissionQueued = s.sem.snapshot()
+	}
+	var b strings.Builder
+	s.met.render(&b, live)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, b.String())
 }
 
 // trajFromRequest builds a trajectory from the points/times arrays.

@@ -310,8 +310,10 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
-// TestBodyCap: a request body over MaxBodyBytes fails the decode with a
-// 400 instead of being slurped into memory.
+// TestBodyCap: a request body over MaxBodyBytes is rejected with 413
+// Request Entity Too Large (it used to surface as a generic 400 "bad
+// request body: http: request body too large") instead of being slurped
+// into memory.
 func TestBodyCap(t *testing.T) {
 	srv := New(store.New(nil), &Options{Workers: 1, MaxBodyBytes: 512})
 	ts := httptest.NewServer(srv)
@@ -321,7 +323,7 @@ func TestBodyCap(t *testing.T) {
 	for k := range big.Points {
 		big.Points[k] = [2]float64{1, float64(k) / 1000}
 	}
-	call(t, ts, "POST", "/trajectories", big, nil, http.StatusBadRequest)
+	call(t, ts, "POST", "/trajectories", big, nil, http.StatusRequestEntityTooLarge)
 
 	small := trajectoryRequest{Points: [][2]float64{{1, 2}, {1.1, 2.1}}}
 	call(t, ts, "POST", "/trajectories", small, nil, http.StatusOK)

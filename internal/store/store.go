@@ -25,6 +25,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"time"
 
 	"trajmotif/internal/bounds"
 	"trajmotif/internal/core"
@@ -56,7 +57,30 @@ type Options struct {
 	// selects DefaultCacheBytes; negative disables caching entirely
 	// (every request computes, nothing is retained).
 	CacheBytes int64
+	// MaxTrajectories caps the registry itself: adding a trajectory
+	// beyond the cap evicts the least-recently-used one (Add and Get
+	// both count as use — "touch on query"), purging its cached
+	// artifacts exactly like Remove. Zero or negative means unbounded.
+	MaxTrajectories int
+	// TrajectoryTTL expires registry entries that have not been touched
+	// (added or queried) for the duration. Expired entries are swept on
+	// every registry access — the check is O(1) when nothing expired —
+	// and purge their artifacts like Remove. Zero or negative disables.
+	TrajectoryTTL time.Duration
 }
+
+// EvictCause discriminates why a trajectory left the registry, for the
+// Stats eviction counters and the serve tier's metrics by cause.
+type EvictCause uint8
+
+const (
+	// EvictManual is an explicit Remove (DELETE /trajectories/{id}).
+	EvictManual EvictCause = iota
+	// EvictLRU is a capacity eviction under Options.MaxTrajectories.
+	EvictLRU
+	// EvictTTL is an idle-expiry eviction under Options.TrajectoryTTL.
+	EvictTTL
+)
 
 // Stats is a snapshot of the store's registry and cache state.
 type Stats struct {
@@ -75,6 +99,14 @@ type Stats struct {
 	Built, Reused, Evicted int64
 	// Removed counts trajectories deleted from the registry via Remove.
 	Removed int64
+	// EvictedLRU and EvictedTTL count trajectories auto-evicted from the
+	// registry by the MaxTrajectories cap and the TrajectoryTTL expiry
+	// respectively (Removed covers the manual cause).
+	EvictedLRU, EvictedTTL int64
+	// MaxTrajectories and TrajectoryTTL echo the configured policy
+	// (zero: unbounded / no expiry).
+	MaxTrajectories int
+	TrajectoryTTL   time.Duration
 }
 
 // GridRebuildsAvoided returns the cumulative constructions skipped by
@@ -121,14 +153,24 @@ type dataKey struct {
 // happens outside the lock, so concurrent identical misses may compute
 // the same artifact twice (one result is retained).
 type Store struct {
-	df     geo.DistanceFunc
-	dfID   uintptr
-	budget int64
+	df      geo.DistanceFunc
+	dfID    uintptr
+	budget  int64
+	maxTraj int
+	ttl     time.Duration
+	// clock is time.Now outside tests; the TTL suite injects a fake.
+	clock func() time.Time
 
 	mu       sync.Mutex
 	trajs    map[ID]*traj.Trajectory
 	order    []ID // insertion order, for deterministic listings
 	hashMemo map[dataKey]ID
+
+	// Registry recency list (front = most recently touched), driving
+	// MaxTrajectories capacity evictions and TrajectoryTTL expiry.
+	// Every registered id has exactly one element here.
+	regLRU  *list.List
+	regElem map[ID]*list.Element
 
 	// Spatial side-index, maintained under the same mutex as the
 	// registry so every snapshot the handlers take is consistent:
@@ -148,6 +190,13 @@ type Store struct {
 
 	built, reused, evicted int64
 	removed                int64
+	evictedLRU, evictedTTL int64
+}
+
+// regEntry is one registry-recency element: the id plus its last touch.
+type regEntry struct {
+	id   ID
+	last time.Time
 }
 
 // New creates an empty store. opt may be nil for defaults (haversine,
@@ -155,6 +204,8 @@ type Store struct {
 func New(opt *Options) *Store {
 	df := geo.Haversine
 	var budget int64 = DefaultCacheBytes
+	maxTraj := 0
+	var ttl time.Duration
 	if opt != nil {
 		if opt.Dist != nil {
 			df = opt.Dist
@@ -164,13 +215,24 @@ func New(opt *Options) *Store {
 		} else if opt.CacheBytes < 0 {
 			budget = 0
 		}
+		if opt.MaxTrajectories > 0 {
+			maxTraj = opt.MaxTrajectories
+		}
+		if opt.TrajectoryTTL > 0 {
+			ttl = opt.TrajectoryTTL
+		}
 	}
 	return &Store{
 		df:       df,
 		dfID:     reflect.ValueOf(df).Pointer(),
 		budget:   budget,
+		maxTraj:  maxTraj,
+		ttl:      ttl,
+		clock:    time.Now,
 		trajs:    make(map[ID]*traj.Trajectory),
 		hashMemo: make(map[dataKey]ID),
+		regLRU:   list.New(),
+		regElem:  make(map[ID]*list.Element),
 		mbrs:     make(map[ID]spatial.MBR),
 		sindex:   spatial.NewIndex(&spatial.IndexOptions{Dist: df}),
 		handles:  make(map[ID]int),
@@ -221,7 +283,9 @@ func (s *Store) Add(t *traj.Trajectory) (id ID, created bool, err error) {
 	id = hashTrajectory(t)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked()
 	if _, ok := s.trajs[id]; ok {
+		s.touchLocked(id)
 		return id, false, nil
 	}
 	s.trajs[id] = t
@@ -234,7 +298,59 @@ func (s *Store) Add(t *traj.Trajectory) (id ID, created bool, err error) {
 	s.handles[id] = h
 	s.handleID[h] = id
 	s.sindex.Insert(h, mbr)
+	s.regElem[id] = s.regLRU.PushFront(&regEntry{id: id, last: s.clock()})
+	// Capacity eviction: drop least-recently-touched entries until the
+	// registry fits. The entry just added sits at the front, so with any
+	// positive cap it is never its own victim.
+	for s.maxTraj > 0 && len(s.trajs) > s.maxTraj {
+		tail := s.regLRU.Back()
+		if tail == nil || tail == s.regElem[id] {
+			break
+		}
+		s.evictLocked(tail.Value.(*regEntry).id, EvictLRU)
+	}
 	return id, true, nil
+}
+
+// touchLocked refreshes an id's registry recency — Add and Get (the
+// query paths resolve through Get) both count as use, so hot
+// trajectories survive both the LRU cap and the TTL.
+func (s *Store) touchLocked(id ID) {
+	if e, ok := s.regElem[id]; ok {
+		e.Value.(*regEntry).last = s.clock()
+		s.regLRU.MoveToFront(e)
+	}
+}
+
+// sweepLocked expires registry entries idle past TrajectoryTTL. Entries
+// are checked from the recency tail, so the scan stops at the first
+// live one — O(1) when nothing expired.
+func (s *Store) sweepLocked() {
+	if s.ttl <= 0 {
+		return
+	}
+	deadline := s.clock().Add(-s.ttl)
+	for {
+		tail := s.regLRU.Back()
+		if tail == nil {
+			return
+		}
+		re := tail.Value.(*regEntry)
+		if re.last.After(deadline) {
+			return
+		}
+		s.evictLocked(re.id, EvictTTL)
+	}
+}
+
+// SweepExpired applies the TTL policy immediately (it otherwise runs on
+// every registry access) and reports how many trajectories currently
+// remain — a hook for periodic janitors and tests.
+func (s *Store) SweepExpired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return len(s.trajs)
 }
 
 // memoLocked records the points→content-ID association for a slice the
@@ -276,6 +392,15 @@ func (s *Store) idForLocked(pts []geo.Point) ID {
 func (s *Store) Remove(id ID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.evictLocked(id, EvictManual)
+}
+
+// evictLocked deletes a registered trajectory and purges every cached
+// artifact derived from its geometry — the one purge path behind
+// Remove, the MaxTrajectories cap, and the TrajectoryTTL sweep, so
+// automatic eviction can never leave the spatial index or the artifact
+// cache staler than a manual DELETE would.
+func (s *Store) evictLocked(id ID, cause EvictCause) bool {
 	t, ok := s.trajs[id]
 	if !ok {
 		return false
@@ -286,6 +411,10 @@ func (s *Store) Remove(id ID) bool {
 			s.order = append(s.order[:k], s.order[k+1:]...)
 			break
 		}
+	}
+	if e, ok := s.regElem[id]; ok {
+		s.regLRU.Remove(e)
+		delete(s.regElem, id)
 	}
 	if h, ok := s.handles[id]; ok {
 		s.sindex.Remove(h)
@@ -303,29 +432,48 @@ func (s *Store) Remove(id ID) bool {
 			s.evicted++
 		}
 	}
-	s.removed++
+	switch cause {
+	case EvictLRU:
+		s.evictedLRU++
+	case EvictTTL:
+		s.evictedTTL++
+	default:
+		s.removed++
+	}
 	return true
 }
 
-// Get returns a registered trajectory.
+// Get returns a registered trajectory, refreshing its recency ("touch
+// on query"): resolving an id through Get protects it from the LRU cap
+// and restarts its TTL. An entry already expired is gone before the
+// lookup, so a TTL'd store never serves stale-by-policy data.
 func (s *Store) Get(id ID) (*traj.Trajectory, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked()
 	t, ok := s.trajs[id]
+	if ok {
+		s.touchLocked(id)
+	}
 	return t, ok
 }
 
-// Len returns the number of registered trajectories.
+// Len returns the number of registered trajectories (after the TTL
+// sweep, like every registry accessor).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked()
 	return len(s.trajs)
 }
 
-// IDs lists the registered trajectories in insertion order.
+// IDs lists the registered trajectories in insertion order. Expired
+// entries are swept first, so the /knn and /join "everything stored"
+// defaults never include a trajectory the TTL has retired.
 func (s *Store) IDs() []ID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked()
 	return append([]ID(nil), s.order...)
 }
 
@@ -413,19 +561,25 @@ func (s *Store) SpatialParity() (missing []ID, stale int) {
 	return missing, stale
 }
 
-// Stats snapshots the registry and cache state.
+// Stats snapshots the registry and cache state (TTL-expired entries are
+// swept first, so Trajectories reflects the policy).
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked()
 	return Stats{
-		Trajectories: len(s.trajs),
-		Artifacts:    len(s.cache),
-		CacheBytes:   s.bytes,
-		CacheBudget:  s.budget,
-		Built:        s.built,
-		Reused:       s.reused,
-		Evicted:      s.evicted,
-		Removed:      s.removed,
+		Trajectories:    len(s.trajs),
+		Artifacts:       len(s.cache),
+		CacheBytes:      s.bytes,
+		CacheBudget:     s.budget,
+		Built:           s.built,
+		Reused:          s.reused,
+		Evicted:         s.evicted,
+		Removed:         s.removed,
+		EvictedLRU:      s.evictedLRU,
+		EvictedTTL:      s.evictedTTL,
+		MaxTrajectories: s.maxTraj,
+		TrajectoryTTL:   s.ttl,
 	}
 }
 
