@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # suites land; never lower it to paper over a regression.
 COVER_MIN ?= 73.0
 
-.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke load-smoke cover
+.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke load-smoke cover profile
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadPLT$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzScanner$$' -fuzztime $(FUZZTIME) ./internal/trajio
 	$(GO) test -run '^$$' -fuzz '^FuzzSpatialIndex$$' -fuzztime $(FUZZTIME) ./internal/spatial
+	$(GO) test -run '^$$' -fuzz '^FuzzProjectedDecision$$' -fuzztime $(FUZZTIME) ./internal/dist
 
 # Coverage profile over the -short suite (the corpus parity and streaming
 # tests all run under -short), with the per-function summary's total line
@@ -51,6 +52,13 @@ load-smoke:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Profile the fixed deterministic -json workload: CPU and heap profiles
+# land in /tmp for `go tool pprof /tmp/motifbench.{cpu,mem}.out`.
+profile:
+	$(GO) run ./cmd/motifbench -json /tmp/motifbench.json \
+		-cpuprofile /tmp/motifbench.cpu.out -memprofile /tmp/motifbench.mem.out
+	@echo "profiles: /tmp/motifbench.cpu.out /tmp/motifbench.mem.out (go tool pprof)"
 
 # One iteration of every benchmark in every package — catches bit-rot in
 # bench-only code paths (including the parallel workers=N variants)

@@ -8,6 +8,13 @@
 //	           [-seed N] [-brute-budget 15s] [-workers N] [-list]
 //	motifbench -exp C1 -corpus /data/geolife   # stream a real corpus dir
 //	motifbench -json BENCH.json                # machine-readable counters
+//	motifbench -json BENCH.json -cpuprofile cpu.out -memprofile mem.out
+//
+// -float32 stores ground-distance grids in float32 (half the memory,
+// float32-exact results); -projected=false turns the -json join's
+// projected decision kernel off and measures the haversine oracle alone.
+// -cpuprofile/-memprofile write pprof profiles of the run (`make
+// profile` wraps this).
 //
 // Every timing experiment cross-checks that all algorithms return the same
 // optimal motif distance, so a full run doubles as an end-to-end exactness
@@ -18,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"trajmotif"
@@ -34,6 +43,10 @@ func main() {
 	corpus := flag.String("corpus", "", "trajectory corpus directory for experiment C1 (.plt/.csv/.mcsv/.ndjson/.jsonl, streamed in bounded memory)")
 	corpusXi := flag.Int("corpus-xi", 0, "minimum motif length for -corpus runs; 0 selects the default (8)")
 	jsonOut := flag.String("json", "", "run the fixed deterministic workload and write a machine-readable counter report to this file instead of tables (CI diffs it against the checked-in BENCH_*.json baseline)")
+	f32 := flag.Bool("float32", false, "store ground-distance grids in float32: half the grid memory, results float32-exact instead of float64-exact")
+	projected := flag.Bool("projected", true, "route the -json join through the projected decision kernel, cross-checked in-run against the haversine oracle; =false measures the oracle alone")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -45,12 +58,14 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		Scale:       bench.Scale(*scale),
-		Seed:        *seed,
-		BruteBudget: *budget,
-		Workers:     *workers,
-		CorpusDir:   *corpus,
-		CorpusXi:    *corpusXi,
+		Scale:        bench.Scale(*scale),
+		Seed:         *seed,
+		BruteBudget:  *budget,
+		Workers:      *workers,
+		CorpusDir:    *corpus,
+		CorpusXi:     *corpusXi,
+		Float32Grids: *f32,
+		Projected:    *projected,
 	}
 	if *cache {
 		cfg.Artifacts = trajmotif.NewStore(nil)
@@ -59,10 +74,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "motifbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	if *jsonOut != "" {
+
+	run := func() error {
+		if *jsonOut == "" {
+			return bench.Run(*exp, cfg, os.Stdout)
+		}
 		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		err = bench.RunJSON(cfg, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runErr := run()
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		runtime.GC() // flush unreachable grids so the profile shows live bytes
+		f, err := os.Create(*memprofile)
 		if err == nil {
-			err = bench.RunJSON(cfg, f)
+			err = pprof.WriteHeapProfile(f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -71,10 +118,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
 			os.Exit(1)
 		}
-		return
 	}
-	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "motifbench: %v\n", err)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "motifbench: %v\n", runErr)
 		os.Exit(1)
 	}
 }

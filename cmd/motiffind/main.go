@@ -29,6 +29,10 @@
 // distance grid and bound tables instead of recomputing them (visible in
 // -stats as "grids reused").
 //
+// -float32 halves ground-distance grid memory by storing grids in
+// float32; results are then float32-exact (deterministic, within one
+// part in 2^24 of the float64 answer) instead of float64-exact.
+//
 // Input files may be GeoLife .plt or CSV ("lat,lng[,unix]").
 package main
 
@@ -51,6 +55,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0, "approximation slack: result within (1+ε) of optimal; 0 is exact")
 	workers := flag.Int("workers", 0, "parallel workers within the search; 0 = GOMAXPROCS (results are identical for any count). With -corpus it bounds concurrent single-worker trajectory searches instead (total concurrency; 1 = serial)")
 	cache := flag.Bool("cache", false, "share one artifact store across this invocation's queries (several -algo entries, or -k rounds), reusing grids instead of rebuilding them")
+	f32 := flag.Bool("float32", false, "store ground-distance grids in float32: half the grid memory, results float32-exact instead of float64-exact")
 	geoOut := flag.String("geojson", "", "write the trajectory with highlighted motif legs to this GeoJSON file")
 	corpus := flag.String("corpus", "", "discover motifs in every trajectory under this directory (streamed; replaces the positional file arguments)")
 	pairs := flag.Bool("pairs", false, "with -corpus: discover cross-trajectory motifs over unordered pairs instead of per-trajectory motifs")
@@ -67,8 +72,8 @@ func main() {
 		// Corpus mode is GTM-per-trajectory only; reject flags it would
 		// otherwise silently ignore rather than let the user believe a
 		// different algorithm or cache configuration ran.
-		if *algo != "gtm" || *topk > 1 || *epsilon != 0 || *cache || *geoOut != "" {
-			fmt.Fprintln(os.Stderr, "motiffind: -corpus supports only -xi, -tau, -workers and -stats (not -algo, -k, -epsilon, -cache, -geojson)")
+		if *algo != "gtm" || *topk > 1 || *epsilon != 0 || *cache || *f32 || *geoOut != "" {
+			fmt.Fprintln(os.Stderr, "motiffind: -corpus supports only -xi, -tau, -workers and -stats (not -algo, -k, -epsilon, -cache, -float32, -geojson)")
 			os.Exit(2)
 		}
 		if *pairs {
@@ -100,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &trajmotif.Options{Epsilon: *epsilon, Workers: *workers}
+	opt := &trajmotif.Options{Epsilon: *epsilon, Workers: *workers, Float32Grids: *f32}
 	if *cache {
 		opt.Artifacts = trajmotif.NewStore(nil)
 	}

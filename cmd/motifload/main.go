@@ -1,8 +1,9 @@
 // Command motifload replays a mixed read/write workload against a
 // motifserve endpoint and fails (exit 1) if any production-hardening
 // invariant breaks: a 5xx response, a transport error, an unparseable
-// /metrics exposition, or — when the registry cap is known — a registry
-// that outgrew it.
+// /metrics exposition, a per-endpoint latency percentile above its
+// ceiling (-max-p50/-max-p95/-max-p99; p99 defaults to 10s), or — when
+// the registry cap is known — a registry that outgrew it.
 //
 // Usage:
 //
@@ -36,6 +37,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	maxTraj := flag.Int("max-trajectories", 24, "self-host mode: registry cap to prove bounded (0 = unbounded; ignored with -addr)")
 	maxConc := flag.Int("max-concurrent", 2, "self-host mode: admission capacity (ignored with -addr)")
+	maxP50 := flag.Duration("max-p50", 0, "per-endpoint p50 latency ceiling (0 disables)")
+	maxP95 := flag.Duration("max-p95", 0, "per-endpoint p95 latency ceiling (0 disables)")
+	maxP99 := flag.Duration("max-p99", 10*time.Second, "per-endpoint p99 latency ceiling (0 disables)")
 	flag.Parse()
 
 	base := *addr
@@ -65,6 +69,9 @@ func main() {
 		Requests:    *n,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		MaxP50:      *maxP50,
+		MaxP95:      *maxP95,
+		MaxP99:      *maxP99,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motifload: %v\n", err)

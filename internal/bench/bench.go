@@ -61,6 +61,14 @@ type Config struct {
 	// DefaultCorpusXi).
 	CorpusDir string
 	CorpusXi  int
+	// Float32Grids threads core.Options.Float32Grids into every
+	// algorithm invocation: float32 grid storage, float32-exact rather
+	// than float64-exact results.
+	Float32Grids bool
+	// Projected routes the JSON workload's join through the projected
+	// decision kernel (byte-identical, verified in-run against the
+	// haversine oracle). DefaultConfig enables it.
+	Projected bool
 }
 
 // opts stamps the run's worker count and artifact source onto o (nil o
@@ -72,12 +80,13 @@ func (c Config) opts(o *core.Options) *core.Options {
 	}
 	o.Workers = c.Workers
 	o.Artifacts = c.Artifacts
+	o.Float32Grids = c.Float32Grids
 	return o
 }
 
 // DefaultConfig returns the small-scale configuration.
 func DefaultConfig() Config {
-	return Config{Scale: ScaleSmall, Seed: 42, BruteBudget: 15 * time.Second}
+	return Config{Scale: ScaleSmall, Seed: 42, BruteBudget: 15 * time.Second, Projected: true}
 }
 
 func (c Config) lengths() []int {

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"time"
 
 	"trajmotif/internal/batch"
@@ -27,7 +28,9 @@ import (
 
 // JSONSchema versions the report layout; bump it when fields change
 // meaning so the baseline diff fails loudly instead of silently.
-const JSONSchema = 1
+// Schema 2 adds the projected-join fallback counter and the kernel
+// variant section.
+const JSONSchema = 2
 
 // JSONConfig pins everything the workload depends on, so a later PR can
 // regenerate the identical run from the checked-in file alone.
@@ -69,15 +72,31 @@ type JSONKNNRun struct {
 	WallMS         float64   `json:"wall_ms"`
 }
 
-// JSONJoinRun is the indexed similarity join over the mixed corpus.
+// JSONJoinRun is the indexed similarity join over the mixed corpus. The
+// join runs through the projected decision kernel with the unprojected
+// join as in-process oracle (BuildJSONReport errors on any divergence),
+// so ProjectionFallbacks — cells the certified error band could not
+// decide — is itself a pinned counter.
 type JSONJoinRun struct {
-	Pairs            int64   `json:"pairs"`
-	EndpointPruned   int64   `json:"endpointPruned"`
-	BoxPruned        int64   `json:"boxPruned"`
-	DecisionRejected int64   `json:"decisionRejected"`
-	Reported         int64   `json:"reported"`
-	IndexPruned      int64   `json:"indexPruned"`
-	WallMS           float64 `json:"wall_ms"`
+	Pairs               int64   `json:"pairs"`
+	EndpointPruned      int64   `json:"endpointPruned"`
+	BoxPruned           int64   `json:"boxPruned"`
+	DecisionRejected    int64   `json:"decisionRejected"`
+	Reported            int64   `json:"reported"`
+	IndexPruned         int64   `json:"indexPruned"`
+	ProjectionFallbacks int64   `json:"projectionFallbacks"`
+	WallMS              float64 `json:"wall_ms"`
+}
+
+// JSONKernelRun compares the grid storage variants on one BTM discovery:
+// float64 (the byte-parity reference) and float32 (half the grid memory,
+// gated by the equivalence suite — its distance may differ in the last
+// bits but is deterministic, so it diffs exactly).
+type JSONKernelRun struct {
+	Variant  string  `json:"variant"`
+	Distance float64 `json:"distance"`
+	DPCells  int64   `json:"dpCells"`
+	WallMS   float64 `json:"wall_ms"`
 }
 
 // JSONStreamRun is the prefiltered all-pairs streaming discovery.
@@ -98,12 +117,13 @@ type JSONReuseRun struct {
 
 // JSONReport is the whole emission.
 type JSONReport struct {
-	Config JSONConfig     `json:"config"`
-	Motif  []JSONMotifRun `json:"motif"`
-	KNN    JSONKNNRun     `json:"knn"`
-	Join   JSONJoinRun    `json:"join"`
-	Stream JSONStreamRun  `json:"stream"`
-	Reuse  JSONReuseRun   `json:"reuse"`
+	Config JSONConfig      `json:"config"`
+	Motif  []JSONMotifRun  `json:"motif"`
+	KNN    JSONKNNRun      `json:"knn"`
+	Join   JSONJoinRun     `json:"join"`
+	Kernel []JSONKernelRun `json:"kernel"`
+	Stream JSONStreamRun   `json:"stream"`
+	Reuse  JSONReuseRun    `json:"reuse"`
 }
 
 // jsonConfig fixes the workload. Only Seed is taken from the caller's
@@ -201,20 +221,61 @@ func BuildJSONReport(cfg Config) (*JSONReport, error) {
 		rep.KNN.Distances = append(rep.KNN.Distances, nb.Distance)
 	}
 
-	// Indexed join at city radius.
-	start = time.Now()
-	_, jst, err := join.Join(ts, jc.JoinEps, &join.Options{Index: ix})
+	// Indexed join at city radius, through the projected kernel with the
+	// unprojected join as oracle: pairs and shared counters must agree
+	// byte for byte, and the fallback count is pinned in the report.
+	// cfg.Projected=false (motifbench -projected=false) skips the
+	// projected leg and reports the oracle alone.
+	plainPairs, jst, err := join.Join(ts, jc.JoinEps, &join.Options{Index: ix})
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Duration(0)
+	var fallbacks int64
+	if cfg.Projected {
+		start = time.Now()
+		projPairs, pst, err := join.Join(ts, jc.JoinEps, &join.Options{Index: ix, Projected: true})
+		if err != nil {
+			return nil, err
+		}
+		wall = time.Since(start)
+		fallbacks = pst.ProjectionFallbacks
+		pst.ProjectionFallbacks = 0
+		if !reflect.DeepEqual(plainPairs, projPairs) || jst != pst {
+			return nil, fmt.Errorf("bench json: projected join diverged from haversine oracle")
+		}
+	}
 	rep.Join = JSONJoinRun{
-		Pairs:            jst.Pairs,
-		EndpointPruned:   jst.EndpointPruned,
-		BoxPruned:        jst.BoxPruned,
-		DecisionRejected: jst.DecisionRejected,
-		Reported:         jst.Reported,
-		IndexPruned:      jst.IndexPruned,
-		WallMS:           ms(time.Since(start)),
+		Pairs:               jst.Pairs,
+		EndpointPruned:      jst.EndpointPruned,
+		BoxPruned:           jst.BoxPruned,
+		DecisionRejected:    jst.DecisionRejected,
+		Reported:            jst.Reported,
+		IndexPruned:         jst.IndexPruned,
+		ProjectionFallbacks: fallbacks,
+		WallMS:              ms(wall),
+	}
+
+	// Kernel variants: one BTM discovery per grid storage mode.
+	kt, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: jc.Seed, N: jc.MotifN})
+	if err != nil {
+		return nil, err
+	}
+	for _, variant := range []struct {
+		name string
+		f32  bool
+	}{{"float64", false}, {"float32", true}} {
+		start = time.Now()
+		kr, err := core.BTM(kt, jc.MotifXi, &core.Options{Workers: 1, Float32Grids: variant.f32})
+		if err != nil {
+			return nil, fmt.Errorf("bench json: BTM %s: %w", variant.name, err)
+		}
+		rep.Kernel = append(rep.Kernel, JSONKernelRun{
+			Variant:  variant.name,
+			Distance: kr.Distance,
+			DPCells:  kr.Stats.DPCells,
+			WallMS:   ms(time.Since(start)),
+		})
 	}
 
 	// Prefiltered streaming all-pairs discovery.

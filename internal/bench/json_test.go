@@ -37,6 +37,15 @@ func TestBenchJSONDeterministic(t *testing.T) {
 	if len(a.Motif) == 0 || a.Motif[0].DPCells == 0 {
 		t.Errorf("motif runs carry no DP effort: %+v", a.Motif)
 	}
+	if len(a.Kernel) != 2 || a.Kernel[0].Variant != "float64" || a.Kernel[1].Variant != "float32" {
+		t.Fatalf("kernel variants missing: %+v", a.Kernel)
+	}
+	if a.Kernel[0].DPCells == 0 || a.Kernel[1].Distance == 0 {
+		t.Errorf("kernel variant runs degenerate: %+v", a.Kernel)
+	}
+	if rel := math.Abs(a.Kernel[1].Distance-a.Kernel[0].Distance) / a.Kernel[0].Distance; rel > 1e-6 {
+		t.Errorf("float32 kernel distance drifted %v relative from float64", rel)
+	}
 }
 
 // TestBenchJSONBaseline is the CI counter diff: re-run the workload with

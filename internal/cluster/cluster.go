@@ -91,6 +91,19 @@ func Subtrajectories(t *traj.Trajectory, window int, eps float64, opt *Options) 
 		}
 	}
 	df := opt.dist()
+	// Every membership test starts with two endpoint distances between
+	// points of t; under haversine their cos(lat) factors are hoisted
+	// into one table (HaversinePrepared is bit-identical to Haversine).
+	var cos []float64
+	if geo.IsHaversine(df) {
+		cos = geo.CosLats(t.Points)
+	}
+	endp := func(i, j int) float64 {
+		if cos != nil {
+			return geo.HaversinePrepared(t.Points[i], t.Points[j], cos[i], cos[j])
+		}
+		return df(t.Points[i], t.Points[j])
+	}
 
 	var clusters []Cluster
 	for _, w := range Windows(t.Len(), window, stride) {
@@ -99,7 +112,8 @@ func Subtrajectories(t *traj.Trajectory, window int, eps float64, opt *Options) 
 		for k := range clusters {
 			rep := t.SubSpan(clusters[k].Representative)
 			// Cheap endpoint rejection before the DP decision.
-			if df(pts[0], rep[0]) > eps || df(pts[len(pts)-1], rep[len(rep)-1]) > eps {
+			r := clusters[k].Representative
+			if endp(w.Start, r.Start) > eps || endp(w.End, r.End) > eps {
 				continue
 			}
 			if join.DFDWithin(pts, rep, df, eps) {

@@ -389,9 +389,14 @@ func entryLess(a, b Entry) bool {
 
 // SortEntries orders a candidate feed canonically (see entryLess). With
 // workers > 1 and a large list it chunk-sorts in parallel and then runs
-// pairwise merge rounds, the independent merges of each round in
-// parallel; the total order makes the result bit-identical to the
-// sequential sort.
+// one parallel multiway merge: the output is partitioned into one
+// equal-rank range per worker, and each worker tournament-merges its
+// fragment of every chunk into its range. Unlike pairwise merge rounds
+// — whose last round is a single-threaded merge of the whole list —
+// every worker stays busy through the entire merge tail. The feed is a
+// strict total order ((I, J) pairs are unique, see entryLess), so the
+// sorted permutation is unique and the result is bit-identical to the
+// sequential sort for every worker count.
 func SortEntries(list []Entry, workers int) {
 	const parallelSortMin = 1 << 14
 	if workers <= 1 || len(list) < parallelSortMin {
@@ -408,43 +413,99 @@ func SortEntries(list []Entry, workers int) {
 		c := list[bounds[w]:bounds[w+1]]
 		sort.Slice(c, func(x, y int) bool { return entryLess(c[x], c[y]) })
 	})
-
-	// Pairwise merge rounds between list and a scratch buffer.
-	src, dst := list, make([]Entry, len(list))
-	for len(bounds) > 2 {
-		nPairs := (len(bounds) - 1) / 2
-		odd := (len(bounds)-1)%2 == 1
-		ParallelFor(workers, nPairs, func(p int) {
-			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
-			a, b := src[lo:mid], src[mid:hi]
-			out := dst[lo:hi]
-			for len(a) > 0 && len(b) > 0 {
-				if entryLess(b[0], a[0]) {
-					out[0], b = b[0], b[1:]
-				} else {
-					out[0], a = a[0], a[1:]
-				}
-				out = out[1:]
-			}
-			copy(out, a)
-			copy(out[len(a):], b)
-		})
-		if odd {
-			lo := bounds[len(bounds)-2]
-			copy(dst[lo:], src[lo:])
-		}
-		next := bounds[:0:0]
-		for k := 0; k < len(bounds); k += 2 {
-			next = append(next, bounds[k])
-		}
-		if next[len(next)-1] != len(list) {
-			next = append(next, len(list))
-		}
-		bounds = next
-		src, dst = dst, src
+	chunks := make([][]Entry, workers)
+	for w := range chunks {
+		chunks[w] = list[bounds[w]:bounds[w+1]]
 	}
-	if &src[0] != &list[0] {
-		copy(list, src)
+
+	// Partition the output by global rank: cuts[r][c] is how many
+	// entries of chunk c rank among the r*len/workers smallest overall,
+	// so worker w owns exactly the fragments between cuts[w] and
+	// cuts[w+1] and they land in dst[w*len/workers:(w+1)*len/workers].
+	cuts := make([][]int, workers+1)
+	cuts[0] = make([]int, workers)
+	cuts[workers] = make([]int, workers)
+	for c := range chunks {
+		cuts[workers][c] = len(chunks[c])
+	}
+	ParallelFor(workers, workers-1, func(r int) {
+		cuts[r+1] = splitAtRank(chunks, (r+1)*len(list)/workers)
+	})
+
+	dst := make([]Entry, len(list))
+	ParallelFor(workers, workers, func(w int) {
+		kWayMerge(chunks, cuts[w], cuts[w+1], dst[w*len(list)/workers:(w+1)*len(list)/workers])
+	})
+	copy(list, dst)
+}
+
+// splitAtRank returns, per sorted chunk, how many of its entries rank
+// among the k smallest across all chunks. The order is strict, so the
+// k-smallest set is unique, each chunk contributes a unique prefix, and
+// the returned counts sum to exactly k. An entry's global rank (the
+// count of entries below it) is found by binary search in every chunk;
+// the prefix length by binary search over the chunk's own entries —
+// O(workers·log²) per chunk, negligible against the merge itself.
+func splitAtRank(chunks [][]Entry, k int) []int {
+	cut := make([]int, len(chunks))
+	for c, ch := range chunks {
+		cut[c] = sort.Search(len(ch), func(x int) bool {
+			r := 0
+			for _, other := range chunks {
+				e := ch[x]
+				r += sort.Search(len(other), func(y int) bool { return !entryLess(other[y], e) })
+			}
+			return r >= k
+		})
+	}
+	return cut
+}
+
+// kWayMerge tournament-merges the per-chunk fragments [lo[c], hi[c])
+// into out (whose length must equal the fragments' total): a binary
+// heap over the fragment heads pops the least entry and advances its
+// fragment, lg(chunks) comparisons per element. The strict total order
+// means no ties, so the pop sequence is the unique sorted order.
+func kWayMerge(chunks [][]Entry, lo, hi []int, out []Entry) {
+	type head struct{ c, idx int }
+	h := make([]head, 0, len(chunks))
+	less := func(x, y head) bool { return entryLess(chunks[x.c][x.idx], chunks[y.c][y.idx]) }
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			least := l
+			if r := l + 1; r < len(h) && less(h[r], h[l]) {
+				least = r
+			}
+			if !less(h[least], h[i]) {
+				return
+			}
+			h[i], h[least] = h[least], h[i]
+			i = least
+		}
+	}
+	for c := range chunks {
+		if lo[c] < hi[c] {
+			h = append(h, head{c, lo[c]})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for o := range out {
+		top := h[0]
+		out[o] = chunks[top.c][top.idx]
+		top.idx++
+		if top.idx < hi[top.c] {
+			h[0] = top
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
 	}
 }
 

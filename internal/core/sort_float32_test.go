@@ -1,0 +1,116 @@
+package core
+
+// Parity suites for the two kernel-speed changes that live in core: the
+// parallel multiway merge behind SortEntries and the float32 grid mode.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/geo"
+	"trajmotif/internal/traj"
+)
+
+// TestSortEntriesMultiwayBitIdentical pins the parallel multiway merge
+// against the sequential sort for workers 1/2/4/8 on feeds above the
+// parallel threshold, with heavily duplicated LB values so the (I, J)
+// tiebreak is what actually orders large runs.
+func TestSortEntriesMultiwayBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{1 << 14, 1<<14 + 1, 1<<16 + 777}
+	for _, n := range sizes {
+		base := make([]Entry, n)
+		seen := make(map[[2]int32]bool, n)
+		for i := range base {
+			var ij [2]int32
+			for {
+				ij = [2]int32{int32(rng.Intn(1 << 12)), int32(rng.Intn(1 << 12))}
+				if !seen[ij] {
+					seen[ij] = true
+					break
+				}
+			}
+			// Only 17 distinct LBs: long runs of ties.
+			base[i] = Entry{LB: float64(rng.Intn(17)), I: ij[0], J: ij[1]}
+		}
+		want := append([]Entry(nil), base...)
+		SortEntries(want, 1)
+		for i := 1; i < len(want); i++ {
+			if !entryLess(want[i-1], want[i]) {
+				t.Fatalf("n=%d: sequential reference not strictly increasing at %d", n, i)
+			}
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got := append([]Entry(nil), base...)
+			SortEntries(got, workers)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: entry %d = %+v, want %+v", n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortEntriesSmallAndDegenerate keeps the below-threshold path and
+// empty/single-entry feeds honest.
+func TestSortEntriesSmallAndDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100} {
+		list := make([]Entry, n)
+		for i := range list {
+			list[i] = Entry{LB: float64(n - i), I: int32(i), J: int32(i)}
+		}
+		SortEntries(list, 8)
+		for i := 1; i < len(list); i++ {
+			if entryLess(list[i], list[i-1]) {
+				t.Fatalf("n=%d: out of order at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestFloat32GridEquivalence is the gate for Options.Float32Grids: on
+// haversine workloads the float32 search must agree with the float64
+// search to float32 rounding (the grid values differ by ≤ 2⁻²⁴
+// relative, and the reported motif distance is always some grid cell's
+// value), and the spans must coincide on these well-separated inputs.
+func TestFloat32GridEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	hav := func(r *rand.Rand, n int) []geo.Point {
+		pts := make([]geo.Point, n)
+		p := geo.Point{Lat: 39.9, Lng: 116.4}
+		for i := range pts {
+			p.Lat += (r.Float64() - 0.5) * 0.004
+			p.Lng += (r.Float64() - 0.5) * 0.004
+			pts[i] = p
+		}
+		return pts
+	}
+	for trial := 0; trial < 6; trial++ {
+		tr := traj.FromPoints(hav(rng, 60+10*trial))
+		xi := 6
+		want, err := BTM(tr, xi, &Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BTM(tr, xi, &Options{Float32Grids: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got.Distance-want.Distance) / math.Max(want.Distance, 1); rel > 1e-6 {
+			t.Fatalf("trial %d: float32 distance %v vs float64 %v (rel %v)", trial, got.Distance, want.Distance, rel)
+		}
+		if got.A != want.A || got.B != want.B {
+			t.Fatalf("trial %d: float32 spans %v/%v vs float64 %v/%v", trial, got.A, got.B, want.A, want.B)
+		}
+		// Float32 runs are themselves deterministic across worker counts.
+		got4, err := BTM(tr, xi, &Options{Float32Grids: true, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got4.Distance) != math.Float64bits(got.Distance) || got4.A != got.A || got4.B != got.B {
+			t.Fatalf("trial %d: float32 workers=4 diverged from workers=1", trial)
+		}
+	}
+}

@@ -50,6 +50,62 @@ type pointGrid struct {
 func (g pointGrid) At(i, j int) float64 { return g.df(g.a[i], g.b[j]) }
 func (g pointGrid) Dims() (int, int)    { return len(g.a), len(g.b) }
 
+// preparedGrid is pointGrid specialized to geo.Haversine with the
+// cos(lat) factors hoisted out of the inner loop: the column cosines
+// are computed once up front and the row cosine is refreshed when the
+// sweep first touches a row (the kernels visit rows monotonically, so
+// this is one cos per row instead of two per cell). Bit-identical to
+// pointGrid over geo.Haversine because geo.HaversinePrepared runs the
+// same core.
+type preparedGrid struct {
+	a, b   []geo.Point
+	cosB   []float64
+	rowI   int
+	rowCos float64
+}
+
+func newPreparedGrid(a, b []geo.Point) *preparedGrid {
+	return &preparedGrid{a: a, b: b, cosB: geo.CosLats(b), rowI: -1}
+}
+
+func (g *preparedGrid) At(i, j int) float64 {
+	if i != g.rowI {
+		g.rowI = i
+		g.rowCos = geo.CosLat(g.a[i])
+	}
+	return geo.HaversinePrepared(g.a[i], g.b[j], g.rowCos, g.cosB[j])
+}
+func (g *preparedGrid) Dims() (int, int) { return len(g.a), len(g.b) }
+
+// projDecGrid adapts a projected point pair to the decision DP's
+// "At(i, j) <= eps" comparisons as a tri-state: a squared planar
+// distance inside the frame's certified band returns a sentinel that
+// compares the same way the true haversine would (-1 for certainly
+// within, +Inf for certainly beyond), and only the narrow uncertain
+// band pays a real haversine call, counted in *fallbacks. Requires
+// eps >= 0 so the -1 sentinel always satisfies "<= eps".
+type projDecGrid struct {
+	a, b             []geo.Point
+	pa, pb           []geo.Projected
+	within2, beyond2 float64
+	fallbacks        *int64
+}
+
+func (g *projDecGrid) At(i, j int) float64 {
+	dx := g.pa[i].X - g.pb[j].X
+	dy := g.pa[i].Y - g.pb[j].Y
+	d2 := dx*dx + dy*dy
+	if d2 <= g.within2 {
+		return -1
+	}
+	if d2 > g.beyond2 {
+		return math.Inf(1)
+	}
+	*g.fallbacks++
+	return geo.Haversine(g.a[i], g.b[j])
+}
+func (g *projDecGrid) Dims() (int, int) { return len(g.a), len(g.b) }
+
 // rowsGrid adapts an explicit [][]float64 table (the DFDFromGrid input
 // shape) to the grid interface.
 type rowsGrid [][]float64
@@ -113,9 +169,14 @@ func relaxRow[G Grid](g G, ie, j0, j1 int, prev, cur []float64) float64 {
 // exceeded == true. A +Inf cap never abandons, so the result is exact.
 func windowCapped[G Grid](g G, i0, i1, j0, j1 int, cap float64) (d float64, exceeded bool) {
 	w := j1 - j0 + 1
+	capped := !math.IsInf(cap, 1)
+	if !capped && w >= tileThreshold && i1 > i0 {
+		// Only the uncapped sweep tiles: tiling the capped sweep would
+		// move its abandon points and change effort counters.
+		return windowTiled(g, i0, i1, j0, j1), false
+	}
 	prev := make([]float64, w)
 	cur := make([]float64, w)
-	capped := !math.IsInf(cap, 1)
 
 	boundaryRow(g, i0, j0, j1, prev)
 	// The boundary row is a running maximum, so its minimum is its first
@@ -136,6 +197,108 @@ func windowCapped[G Grid](g G, i0, i1, j0, j1 int, cap float64) (d float64, exce
 		prev, cur = cur, prev
 	}
 	return prev[w-1], false
+}
+
+const (
+	// tileW is the column-strip width of the uncapped tiled sweep: wide
+	// enough to amortize the per-strip row bookkeeping, narrow enough
+	// that a strip's rolling rows, points, and cached cosines stay in
+	// L1 while the sweep walks thousands of rows over them.
+	tileW = 256
+	// tileThreshold gates tiling to windows wide enough that the
+	// rolling rows no longer fit cache; below it the plain sweep's
+	// simpler inner loop wins.
+	tileThreshold = 4 * tileW
+)
+
+// windowTiled computes the exact (uncapped) window DFD in column strips
+// of tileW. The recurrence per cell is the one windowCapped applies —
+// max/min selection over the same three neighbours and the same grid
+// value, with no other floating-point arithmetic — so only the
+// traversal order changes and the result is bit-identical. edge carries
+// the column of values just left of the current strip (dF[·][js-1]),
+// which is all a strip needs from its predecessor.
+func windowTiled[G Grid](g G, i0, i1, j0, j1 int) float64 {
+	rows := i1 - i0 + 1
+	edge := make([]float64, rows)
+	prev := make([]float64, tileW)
+	cur := make([]float64, tileW)
+
+	var last float64
+	colMax := math.Inf(-1) // running max of column j0; first strip only
+	for js := j0; js <= j1; js += tileW {
+		je := js + tileW - 1
+		if je > j1 {
+			je = j1
+		}
+		w := je - js + 1
+		first := js == j0
+
+		// Row i0 of this strip: the boundary running maximum, continued
+		// from the previous strip's edge.
+		run := math.Inf(-1)
+		if !first {
+			run = edge[0]
+		}
+		for jj := js; jj <= je; jj++ {
+			if d := g.At(i0, jj); d > run {
+				run = d
+			}
+			prev[jj-js] = run
+		}
+		if first {
+			colMax = prev[0]
+		}
+		diag := edge[0] // dF[i0][js-1], read before overwrite
+		edge[0] = prev[w-1]
+
+		for r := 1; r < rows; r++ {
+			ie := i0 + r
+			var left float64
+			if first {
+				if v := g.At(ie, j0); v > colMax {
+					colMax = v
+				}
+				cur[0] = colMax
+				left = colMax
+			} else {
+				reach := prev[0] // up
+				if diag < reach {
+					reach = diag
+				}
+				if e := edge[r]; e < reach { // left, from the previous strip
+					reach = e
+				}
+				v := g.At(ie, js)
+				if reach > v {
+					v = reach
+				}
+				cur[0] = v
+				left = v
+			}
+			for jj := js + 1; jj <= je; jj++ {
+				k := jj - js
+				reach := prev[k]
+				if v := prev[k-1]; v < reach {
+					reach = v
+				}
+				if left < reach {
+					reach = left
+				}
+				v := g.At(ie, jj)
+				if reach > v {
+					v = reach
+				}
+				cur[k] = v
+				left = v
+			}
+			diag = edge[r]
+			edge[r] = cur[w-1]
+			prev, cur = cur, prev
+		}
+		last = prev[w-1]
+	}
+	return last
 }
 
 // decision answers dF[n-1][m-1] <= eps over a boolean live-cell DP: a cell
@@ -194,6 +357,9 @@ func DFDCapped(a, b []geo.Point, df geo.DistanceFunc, cap float64) (d float64, e
 	if len(b) > len(a) {
 		a, b = b, a // roll rows over the shorter sequence: O(min(n,m)) space
 	}
+	if geo.IsHaversine(df) {
+		return windowCapped(newPreparedGrid(a, b), 0, len(a)-1, 0, len(b)-1, cap)
+	}
 	return windowCapped(pointGrid{a, b, df}, 0, len(a)-1, 0, len(b)-1, cap)
 }
 
@@ -209,7 +375,41 @@ func DFDDecision(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
 	if len(b) > len(a) {
 		a, b = b, a
 	}
+	if geo.IsHaversine(df) {
+		return decision(newPreparedGrid(a, b), len(a), len(b), eps)
+	}
 	return decision(pointGrid{a, b, df}, len(a), len(b), eps)
+}
+
+// DFDDecisionProjected decides DFD(a, b) <= eps for the haversine
+// ground distance using planar squared distances in frame f for the
+// per-cell comparisons, falling back to a real haversine evaluation for
+// the cells the frame's certified band cannot decide (each fallback
+// increments *fallbacks; nil is allowed). Every per-cell boolean equals
+// the haversine comparison, so the result is byte-identical to
+// DFDDecision(a, b, geo.Haversine, eps) by construction. pa and pb must
+// be a's and b's points projected in f (or any frame with the same
+// RefKey); an invalid frame or a negative eps routes the whole pair to
+// DFDDecision, counted as one fallback.
+func DFDDecisionProjected(a, b []geo.Point, pa, pb []geo.Projected, f geo.Frame, eps float64, fallbacks *int64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b) && eps >= 0
+	}
+	var scratch int64
+	if fallbacks == nil {
+		fallbacks = &scratch
+	}
+	if !f.OK() || !(eps >= 0) {
+		*fallbacks++
+		return DFDDecision(a, b, geo.Haversine, eps)
+	}
+	within2, beyond2 := f.Thresholds(eps)
+	if len(b) > len(a) {
+		a, b = b, a
+		pa, pb = pb, pa
+	}
+	g := &projDecGrid{a: a, b: b, pa: pa, pb: pb, within2: within2, beyond2: beyond2, fallbacks: fallbacks}
+	return decision(g, len(a), len(b), eps)
 }
 
 // DFDFromGridCapped runs the capped kernel over the inclusive sub-window

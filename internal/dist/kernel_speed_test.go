@@ -1,0 +1,297 @@
+package dist
+
+// White-box parity tests and benchmarks for the kernel fast paths:
+// the prepared (hoisted-cos) haversine grid, the tiled uncapped sweep,
+// and the projected decision DP. These live in package dist so the
+// benchmark can pin individual variants (windowCapped vs windowTiled,
+// pointGrid vs preparedGrid) against each other directly.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmotif/internal/geo"
+)
+
+// speedTrack builds a random-walk trajectory around a base point, the
+// shape the datagen workloads produce (street-scale steps, city-scale
+// extent).
+func speedTrack(rng *rand.Rand, base geo.Point, n int, stepDeg float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	p := base
+	for i := range pts {
+		p.Lat += (rng.Float64() - 0.5) * stepDeg
+		p.Lng += (rng.Float64() - 0.5) * stepDeg
+		pts[i] = p
+	}
+	return pts
+}
+
+// wrappedHaversine defeats geo.IsHaversine, forcing the generic
+// pointGrid path, while computing the identical distance.
+func wrappedHaversine(a, b geo.Point) float64 { return geo.Haversine(a, b) }
+
+// TestPreparedKernelBitIdentical pins DFDCapped and DFDDecision on the
+// prepared fast path against the generic path over the same haversine
+// values: results must be bit-identical for exact, capped, and decision
+// sweeps.
+func TestPreparedKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		na, nb := 2+rng.Intn(60), 2+rng.Intn(60)
+		a := speedTrack(rng, geo.Point{Lat: 39.9, Lng: 116.4}, na, 0.01)
+		b := speedTrack(rng, geo.Point{Lat: 39.91, Lng: 116.41}, nb, 0.01)
+
+		wantD, wantEx := DFDCapped(a, b, wrappedHaversine, math.Inf(1))
+		gotD, gotEx := DFDCapped(a, b, geo.Haversine, math.Inf(1))
+		if math.Float64bits(wantD) != math.Float64bits(gotD) || wantEx != gotEx {
+			t.Fatalf("trial %d: exact DFD differs: prepared (%v, %v) vs generic (%v, %v)",
+				trial, gotD, gotEx, wantD, wantEx)
+		}
+		for _, capFrac := range []float64{0.25, 0.5, 1, 2} {
+			cap := wantD * capFrac
+			wd, we := DFDCapped(a, b, wrappedHaversine, cap)
+			gd, ge := DFDCapped(a, b, geo.Haversine, cap)
+			if math.Float64bits(wd) != math.Float64bits(gd) || we != ge {
+				t.Fatalf("trial %d cap %v: capped DFD differs: prepared (%v, %v) vs generic (%v, %v)",
+					trial, cap, gd, ge, wd, we)
+			}
+		}
+		for _, epsFrac := range []float64{0.5, 0.99, 1, 1.01} {
+			eps := wantD * epsFrac
+			if DFDDecision(a, b, wrappedHaversine, eps) != DFDDecision(a, b, geo.Haversine, eps) {
+				t.Fatalf("trial %d eps %v: decision differs between prepared and generic", trial, eps)
+			}
+		}
+	}
+}
+
+// TestTiledSweepBitIdentical pins the tiled uncapped sweep against the
+// plain rolling sweep on windows wide enough to tile, including widths
+// that are not multiples of the strip, both grid orientations, and a
+// non-haversine metric.
+func TestTiledSweepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	widths := []int{tileThreshold, tileThreshold + 1, tileThreshold + tileW - 1, tileThreshold + tileW/3}
+	for _, w := range widths {
+		for _, rows := range []int{2, 3, 17} {
+			a := speedTrack(rng, geo.Point{Lat: 40, Lng: 116}, rows, 0.02)
+			b := speedTrack(rng, geo.Point{Lat: 40.01, Lng: 116.01}, w, 0.02)
+			for _, df := range []geo.DistanceFunc{geo.Haversine, geo.Euclidean} {
+				g := pointGrid{a, b, df}
+				// A huge finite cap keeps windowCapped on the untiled
+				// path and never abandons: an exact reference.
+				want, ex := windowCapped(g, 0, rows-1, 0, w-1, math.MaxFloat64)
+				if ex {
+					t.Fatal("reference sweep abandoned")
+				}
+				got := windowTiled(g, 0, rows-1, 0, w-1)
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("w=%d rows=%d: tiled %v != plain %v", w, rows, got, want)
+				}
+				// And via the public entry point (auto-routed to tiled;
+				// b is the longer side, so it becomes the row axis).
+				pubD, pubEx := DFDCapped(a, b, df, math.Inf(1))
+				if math.Float64bits(pubD) != math.Float64bits(want) || pubEx {
+					t.Fatalf("w=%d rows=%d: DFDCapped +Inf = (%v, %v), want (%v, false)", w, rows, pubD, pubEx, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProjectedDecisionParity sweeps eps through and around the
+// interesting range on random city-scale pairs and asserts the
+// projected decision equals the haversine decision everywhere, with
+// certified cells doing the bulk of the work.
+func TestProjectedDecisionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var totalFallbacks, totalDecisions int64
+	for trial := 0; trial < 60; trial++ {
+		a := speedTrack(rng, geo.Point{Lat: 39.9, Lng: 116.4}, 2+rng.Intn(50), 0.01)
+		b := speedTrack(rng, geo.Point{Lat: 39.91, Lng: 116.41}, 2+rng.Intn(50), 0.01)
+		minLat, maxLat, minLng, maxLng := bounds2(a, b)
+		f := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+		if !f.OK() {
+			t.Fatal("city-scale frame rejected")
+		}
+		pa, pb := f.ProjectAll(a), f.ProjectAll(b)
+		d, _ := DFDCapped(a, b, geo.Haversine, math.Inf(1))
+		for _, eps := range []float64{0, d * 0.3, d * 0.999999, d, d * 1.000001, d * 3} {
+			want := DFDDecision(a, b, geo.Haversine, eps)
+			got := DFDDecisionProjected(a, b, pa, pb, f, eps, &totalFallbacks)
+			if want != got {
+				t.Fatalf("trial %d eps %v: projected %v != haversine %v", trial, eps, got, want)
+			}
+			totalDecisions++
+		}
+	}
+	t.Logf("fallbacks %d across %d decisions", totalFallbacks, totalDecisions)
+}
+
+// TestProjectedDecisionFallbacks forces the uncertain band: a frame
+// over a tens-of-degrees region has a percent-scale error band, so an
+// eps in the middle of the pair distances must take per-cell haversine
+// fallbacks — and still agree with the haversine decision exactly.
+func TestProjectedDecisionFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var fallbacks int64
+	agree := 0
+	for trial := 0; trial < 30; trial++ {
+		a := speedTrack(rng, geo.Point{Lat: 20, Lng: 10}, 30, 1.2)
+		b := speedTrack(rng, geo.Point{Lat: 21, Lng: 11}, 30, 1.2)
+		minLat, maxLat, minLng, maxLng := bounds2(a, b)
+		f := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+		if !f.OK() {
+			continue
+		}
+		pa, pb := f.ProjectAll(a), f.ProjectAll(b)
+		// eps at each cell distance lands many cells inside the band.
+		for i := 0; i < len(a); i += 7 {
+			eps := geo.Haversine(a[i], b[i])
+			want := DFDDecision(a, b, geo.Haversine, eps)
+			got := DFDDecisionProjected(a, b, pa, pb, f, eps, &fallbacks)
+			if want != got {
+				t.Fatalf("trial %d: projected %v != haversine %v", trial, got, want)
+			}
+			agree++
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("loose-frame sweep took no fallbacks; band thresholds suspiciously certain")
+	}
+	t.Logf("%d fallbacks across %d agreeing decisions", fallbacks, agree)
+}
+
+// TestProjectedDecisionInvalidFrame pins the whole-pair fallback: an
+// invalid frame must count one fallback and still answer exactly.
+func TestProjectedDecisionInvalidFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := speedTrack(rng, geo.Point{Lat: 88, Lng: 0}, 10, 0.01) // polar: no frame
+	b := speedTrack(rng, geo.Point{Lat: 88, Lng: 0.1}, 10, 0.01)
+	var f geo.Frame
+	var n int64
+	eps := 5000.0
+	want := DFDDecision(a, b, geo.Haversine, eps)
+	if got := DFDDecisionProjected(a, b, nil, nil, f, eps, &n); got != want {
+		t.Fatalf("invalid frame: projected %v != haversine %v", got, want)
+	}
+	if n != 1 {
+		t.Fatalf("invalid frame counted %d fallbacks, want 1", n)
+	}
+	// nil counter must not panic.
+	if got := DFDDecisionProjected(a, b, nil, nil, f, eps, nil); got != want {
+		t.Fatal("nil fallback counter changed the answer")
+	}
+}
+
+func bounds2(a, b []geo.Point) (minLat, maxLat, minLng, maxLng float64) {
+	minLat, maxLat = math.Inf(1), math.Inf(-1)
+	minLng, maxLng = math.Inf(1), math.Inf(-1)
+	for _, pts := range [][]geo.Point{a, b} {
+		for _, p := range pts {
+			minLat = math.Min(minLat, p.Lat)
+			maxLat = math.Max(maxLat, p.Lat)
+			minLng = math.Min(minLng, p.Lng)
+			maxLng = math.Max(maxLng, p.Lng)
+		}
+	}
+	return minLat, maxLat, minLng, maxLng
+}
+
+// FuzzProjectedDecision cross-checks the projected decision against the
+// haversine decision on fuzz-chosen geometry and eps: any divergence is
+// a soundness bug in the frame's certified band.
+func FuzzProjectedDecision(f *testing.F) {
+	f.Add(int64(1), 39.9, 116.4, 0.01, 500.0)
+	f.Add(int64(2), 84.9, 179.0, 0.4, 20000.0)
+	f.Add(int64(3), -30.0, -179.99, 2.0, 150000.0)
+	f.Add(int64(4), 0.0, 0.0, 0.0001, 3.0)
+	f.Fuzz(func(t *testing.T, seed int64, lat, lng, step, eps float64) {
+		if math.IsNaN(lat) || math.IsNaN(lng) || math.IsNaN(step) || math.IsNaN(eps) {
+			t.Skip()
+		}
+		lat = math.Mod(lat, 90)
+		lng = math.Mod(lng, 180)
+		step = math.Mod(math.Abs(step), 3)
+		eps = math.Mod(math.Abs(eps), 2e7)
+		rng := rand.New(rand.NewSource(seed))
+		a := speedTrack(rng, geo.Point{Lat: lat, Lng: lng}, 2+rng.Intn(20), step)
+		b := speedTrack(rng, geo.Point{Lat: lat, Lng: lng}, 2+rng.Intn(20), step)
+		minLat, maxLat, minLng, maxLng := bounds2(a, b)
+		fr := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+		var pa, pb []geo.Projected
+		if fr.OK() {
+			pa, pb = fr.ProjectAll(a), fr.ProjectAll(b)
+		}
+		want := DFDDecision(a, b, geo.Haversine, eps)
+		var n int64
+		if got := DFDDecisionProjected(a, b, pa, pb, fr, eps, &n); got != want {
+			t.Fatalf("projected %v != haversine %v (frame ok=%v, fallbacks=%d, eps=%v)",
+				got, want, fr.OK(), n, eps)
+		}
+	})
+}
+
+// BenchmarkKernelVariants measures per-DP-cell cost of each ground-
+// distance strategy on a fixed workload; CHANGES.md quotes the result.
+// "generic" is the pre-optimization path (haversine behind an opaque
+// DistanceFunc), "prepared" hoists the cosines, "tiled" adds the
+// strip sweep on a wide uncapped window, and the decision pair compares
+// the haversine decision DP against the projected tri-state DP.
+func BenchmarkKernelVariants(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 512
+	ta := speedTrack(rng, geo.Point{Lat: 39.9, Lng: 116.4}, n, 0.01)
+	tb := speedTrack(rng, geo.Point{Lat: 39.91, Lng: 116.41}, n, 0.01)
+	cells := float64(n) * float64(n)
+
+	b.Run("value-generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			windowCapped(pointGrid{ta, tb, wrappedHaversine}, 0, n-1, 0, n-1, math.MaxFloat64)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cells, "ns/cell")
+	})
+	b.Run("value-prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			windowCapped(newPreparedGrid(ta, tb), 0, n-1, 0, n-1, math.MaxFloat64)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cells, "ns/cell")
+	})
+
+	const wide = 4096
+	wa := speedTrack(rng, geo.Point{Lat: 40, Lng: 116}, 64, 0.01)
+	wb := speedTrack(rng, geo.Point{Lat: 40.01, Lng: 116.01}, wide, 0.01)
+	wideCells := float64(64) * float64(wide)
+	b.Run("wide-prepared-plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			windowCapped(newPreparedGrid(wa, wb), 0, 63, 0, wide-1, math.MaxFloat64)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/wideCells, "ns/cell")
+	})
+	b.Run("wide-prepared-tiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			windowTiled(newPreparedGrid(wa, wb), 0, 63, 0, wide-1)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/wideCells, "ns/cell")
+	})
+
+	d, _ := DFDCapped(ta, tb, geo.Haversine, math.Inf(1))
+	eps := d * 0.9 // a decision that sweeps most of the table
+	minLat, maxLat, minLng, maxLng := bounds2(ta, tb)
+	fr := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+	pa, pb := fr.ProjectAll(ta), fr.ProjectAll(tb)
+	b.Run("decision-haversine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DFDDecision(ta, tb, wrappedHaversine, eps)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cells, "ns/cell")
+	})
+	b.Run("decision-projected", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DFDDecisionProjected(ta, tb, pa, pb, fr, eps, nil)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cells, "ns/cell")
+	})
+}

@@ -20,10 +20,14 @@ type Grid interface {
 	Dims() (n, m int)
 }
 
-// Matrix is a fully materialized n x m ground-distance grid.
+// Matrix is a fully materialized n x m ground-distance grid. Values are
+// stored in float64 by default; Compact32 produces an opt-in float32
+// variant that halves memory and cache traffic at ~1e-7 relative
+// rounding (values are still computed in float64 and rounded once).
 type Matrix struct {
-	n, m int
-	vals []float64
+	n, m   int
+	vals   []float64
+	vals32 []float32
 }
 
 // ComputeCross materializes the grid between two trajectories' points.
@@ -37,6 +41,20 @@ func ComputeCross(a, b []geo.Point, df geo.DistanceFunc) *Matrix {
 // use when workers > 1.
 func ComputeCrossParallel(a, b []geo.Point, df geo.DistanceFunc, workers int) *Matrix {
 	m := &Matrix{n: len(a), m: len(b), vals: make([]float64, len(a)*len(b))}
+	if geo.IsHaversine(df) {
+		// Hoist the cos(lat) factors: one per point instead of two per
+		// cell. HaversinePrepared is bit-identical to Haversine.
+		cosB := geo.CosLats(b)
+		fillRows(workers, len(a), func(i int) {
+			pa := a[i]
+			ca := geo.CosLat(pa)
+			row := m.vals[i*m.m : (i+1)*m.m]
+			for j, pb := range b {
+				row[j] = geo.HaversinePrepared(pa, pb, ca, cosB[j])
+			}
+		})
+		return m
+	}
 	fillRows(workers, len(a), func(i int) {
 		pa := a[i]
 		row := m.vals[i*m.m : (i+1)*m.m]
@@ -59,12 +77,23 @@ func ComputeSelf(pts []geo.Point, df geo.DistanceFunc) *Matrix {
 func ComputeSelfParallel(pts []geo.Point, df geo.DistanceFunc, workers int) *Matrix {
 	n := len(pts)
 	m := &Matrix{n: n, m: n, vals: make([]float64, n*n)}
-	fillRows(workers, n, func(i int) {
-		row := m.vals[i*n : (i+1)*n]
-		for j := i + 1; j < n; j++ {
-			row[j] = df(pts[i], pts[j])
-		}
-	})
+	if geo.IsHaversine(df) {
+		cos := geo.CosLats(pts)
+		fillRows(workers, n, func(i int) {
+			pi, ci := pts[i], cos[i]
+			row := m.vals[i*n : (i+1)*n]
+			for j := i + 1; j < n; j++ {
+				row[j] = geo.HaversinePrepared(pi, pts[j], ci, cos[j])
+			}
+		})
+	} else {
+		fillRows(workers, n, func(i int) {
+			row := m.vals[i*n : (i+1)*n]
+			for j := i + 1; j < n; j++ {
+				row[j] = df(pts[i], pts[j])
+			}
+		})
+	}
 	fillRows(workers, n, func(i int) {
 		row := m.vals[i*n : (i+1)*n]
 		for j := 0; j < i; j++ {
@@ -118,14 +147,44 @@ func FromRows(rows [][]float64) *Matrix {
 }
 
 // At returns dG(i, j).
-func (m *Matrix) At(i, j int) float64 { return m.vals[i*m.m+j] }
+func (m *Matrix) At(i, j int) float64 {
+	if m.vals32 != nil {
+		return float64(m.vals32[i*m.m+j])
+	}
+	return m.vals[i*m.m+j]
+}
 
 // Dims returns the grid dimensions.
 func (m *Matrix) Dims() (int, int) { return m.n, m.m }
 
+// Float32 reports whether the matrix stores float32 values.
+func (m *Matrix) Float32() bool { return m.vals32 != nil }
+
+// Compact32 returns a float32-backed copy: every value computed in
+// float64 and rounded once to the nearest float32 (≤ 2⁻²⁴ ≈ 6·10⁻⁸
+// relative error for distances on Earth). Callers opt in explicitly —
+// grids feed decision DPs through capped comparisons, so float32 grids
+// yield float32-exact rather than float64-exact results and are gated
+// by the equivalence suite, not the byte-parity suites.
+func (m *Matrix) Compact32() *Matrix {
+	if m.vals32 != nil {
+		return m
+	}
+	t := &Matrix{n: m.n, m: m.m, vals32: make([]float32, len(m.vals))}
+	for i, v := range m.vals {
+		t.vals32[i] = float32(v)
+	}
+	return t
+}
+
 // Bytes returns the memory footprint of the value storage, used by the
-// space-consumption experiment (Figure 19).
-func (m *Matrix) Bytes() int64 { return int64(len(m.vals)) * 8 }
+// space-consumption experiment (Figure 19) and the store's byte budget.
+func (m *Matrix) Bytes() int64 {
+	if m.vals32 != nil {
+		return int64(len(m.vals32)) * 4
+	}
+	return int64(len(m.vals)) * 8
+}
 
 // Transposed materializes the transpose of m — the grid of (b, a) given
 // the grid of (a, b) — by copying values instead of re-evaluating the
@@ -133,7 +192,18 @@ func (m *Matrix) Bytes() int64 { return int64(len(m.vals)) * 8 }
 // geo.DistanceFunc contract), so the result is bit-identical to
 // ComputeCross(b, a, df) at a fraction of the cost; the serve-mode store
 // uses it to answer swapped-pair grid requests from one cached matrix.
+// A float32 matrix transposes to a float32 matrix.
 func (m *Matrix) Transposed() *Matrix {
+	if m.vals32 != nil {
+		t := &Matrix{n: m.m, m: m.n, vals32: make([]float32, len(m.vals32))}
+		for i := 0; i < m.n; i++ {
+			row := m.vals32[i*m.m : (i+1)*m.m]
+			for j, v := range row {
+				t.vals32[j*t.m+i] = v
+			}
+		}
+		return t
+	}
 	t := &Matrix{n: m.m, m: m.n, vals: make([]float64, len(m.vals))}
 	for i := 0; i < m.n; i++ {
 		row := m.vals[i*m.m : (i+1)*m.m]
@@ -146,24 +216,44 @@ func (m *Matrix) Transposed() *Matrix {
 
 // Fly evaluates ground distances on demand without storing them. It is the
 // grid used by GTM* (§5.5, Idea i): each At call costs one ground-distance
-// evaluation, trading CPU for the O(n^2) matrix memory.
+// evaluation, trading CPU for the O(n^2) matrix memory. The constructors
+// detect the haversine metric and cache one cos(lat) per point, so each
+// At pays two table lookups instead of two cos calls — bit-identical,
+// since HaversinePrepared runs the same core.
 type Fly struct {
 	A, B []geo.Point
 	DF   geo.DistanceFunc
+
+	cosA, cosB []float64
 }
 
 // NewFlySelf returns an on-the-fly grid over a single trajectory.
 func NewFlySelf(pts []geo.Point, df geo.DistanceFunc) *Fly {
-	return &Fly{A: pts, B: pts, DF: df}
+	f := &Fly{A: pts, B: pts, DF: df}
+	if geo.IsHaversine(df) {
+		f.cosA = geo.CosLats(pts)
+		f.cosB = f.cosA
+	}
+	return f
 }
 
 // NewFlyCross returns an on-the-fly grid between two trajectories.
 func NewFlyCross(a, b []geo.Point, df geo.DistanceFunc) *Fly {
-	return &Fly{A: a, B: b, DF: df}
+	f := &Fly{A: a, B: b, DF: df}
+	if geo.IsHaversine(df) {
+		f.cosA = geo.CosLats(a)
+		f.cosB = geo.CosLats(b)
+	}
+	return f
 }
 
 // At computes dG(i, j) directly from the points.
-func (f *Fly) At(i, j int) float64 { return f.DF(f.A[i], f.B[j]) }
+func (f *Fly) At(i, j int) float64 {
+	if f.cosA != nil {
+		return geo.HaversinePrepared(f.A[i], f.B[j], f.cosA[i], f.cosB[j])
+	}
+	return f.DF(f.A[i], f.B[j])
+}
 
 // Dims returns the grid dimensions.
 func (f *Fly) Dims() (int, int) { return len(f.A), len(f.B) }

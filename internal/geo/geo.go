@@ -39,17 +39,24 @@ type DistanceFunc func(a, b Point) float64
 // using the haversine formulation which is numerically stable for the
 // small separations typical of trajectory samples.
 func Haversine(a, b Point) float64 {
+	return haversineFrom(a, b, math.Cos(a.Lat*math.Pi/180), math.Cos(b.Lat*math.Pi/180))
+}
+
+// haversineFrom is the one haversine core: ca and cb must equal
+// math.Cos(lat·π/180) of a and b. Haversine and HaversinePrepared are
+// both thin wrappers over this function, so the prepared fast path —
+// which hoists the cos(lat) factors out of inner loops — executes the
+// identical compiled arithmetic and is bit-identical by construction.
+func haversineFrom(a, b Point, ca, cb float64) float64 {
 	if a == b {
 		return 0
 	}
-	la1 := a.Lat * math.Pi / 180
-	la2 := b.Lat * math.Pi / 180
 	dLat := (b.Lat - a.Lat) * math.Pi / 180
 	dLng := (b.Lng - a.Lng) * math.Pi / 180
 
 	sLat := math.Sin(dLat / 2)
 	sLng := math.Sin(dLng / 2)
-	h := sLat*sLat + math.Cos(la1)*math.Cos(la2)*sLng*sLng
+	h := sLat*sLat + ca*cb*sLng*sLng
 	if h > 1 {
 		h = 1
 	}

@@ -1,0 +1,221 @@
+package geo
+
+// Prepared haversine and the per-region equirectangular projection that
+// lets hot loops trade trig for multiply-adds without changing results.
+//
+// Two distinct mechanisms live here, with different guarantees:
+//
+//   - HaversinePrepared hoists the cos(lat) factors out of Haversine.
+//     It is bit-identical to Haversine (both are wrappers over the same
+//     haversineFrom core), so value-producing DPs may use it freely.
+//   - Frame projects a bounded lat/lng region onto a plane and carries
+//     a certified two-sided error band: for any two points of the
+//     region, haversine ∈ [p·LoFactor, p·HiFactor] where p is the
+//     planar distance of their projections. That decides *threshold*
+//     comparisons (is the distance ≤ eps?) exactly whenever p falls
+//     outside the narrow uncertain band, with a haversine fallback for
+//     the band itself — so decision DPs stay byte-identical while the
+//     common case becomes two subtractions, two multiplies and an add.
+//
+// DESIGN.md §4 derives the error band and records the shave constants.
+
+import (
+	"math"
+	"reflect"
+)
+
+// CosLat returns math.Cos(lat·π/180) of p — the exact factor Haversine
+// computes internally, suitable for HaversinePrepared.
+func CosLat(p Point) float64 { return math.Cos(p.Lat * math.Pi / 180) }
+
+// CosLats returns CosLat of every point.
+func CosLats(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = CosLat(p)
+	}
+	return out
+}
+
+// PreparedPoint bundles a point with its cached latitude cosine for the
+// fixed-point-vs-many pattern (kNN lower bounds, join's endpoint
+// cascade).
+type PreparedPoint struct {
+	P      Point
+	CosLat float64
+}
+
+// Prepare caches p's latitude cosine.
+func Prepare(p Point) PreparedPoint { return PreparedPoint{P: p, CosLat: CosLat(p)} }
+
+// HaversinePrepared is Haversine with both cos(lat) factors supplied by
+// the caller. ca and cb must equal CosLat(a) and CosLat(b); given that,
+// the result is bit-identical to Haversine(a, b) because both run the
+// same haversineFrom core.
+func HaversinePrepared(a, b Point, ca, cb float64) float64 {
+	return haversineFrom(a, b, ca, cb)
+}
+
+var haversinePtr = reflect.ValueOf(Haversine).Pointer()
+
+// IsHaversine reports whether df is this package's Haversine function.
+// Callers use it to switch onto the prepared/projected fast paths only
+// when the ground distance is known exactly; a wrapper closure around
+// Haversine has its own code pointer and (safely) reports false.
+func IsHaversine(df DistanceFunc) bool {
+	return df != nil && reflect.ValueOf(df).Pointer() == haversinePtr
+}
+
+// Projected is a point in a Frame's planar coordinates, in meters.
+type Projected struct {
+	X, Y float64
+}
+
+const (
+	// frameMaxAbsLat is the polar cutoff: beyond ±85° the cos(lat)
+	// geometry degenerates (same constant the spatial index uses) and
+	// the frame refuses the region, forcing the haversine fallback.
+	frameMaxAbsLat = 85.0
+	// frameMaxLngSpan rejects regions spanning ≥ 90° of longitude.
+	// This keeps the small-angle bounds tight and rejects raw
+	// antimeridian-crossing boxes outright (their unwrapped span is
+	// near 360°), again forcing the fallback.
+	frameMaxLngSpan = 90.0
+	// frameShave is the relative slack folded into the error factors so
+	// float rounding in their own computation can never tighten the
+	// certified band below the truth (same role as spatial.MinDist's
+	// soundness shave).
+	frameShave = 1e-9
+	// projSlack is the absolute planar slack (meters) subtracted from /
+	// added to the decision thresholds. Projected coordinates reach
+	// ~2·10⁷ m, so a coordinate carries ≤ ~5·10⁻⁹ m of rounding error;
+	// 10⁻⁴ m dominates that by five orders of magnitude while staying
+	// negligible against any physical eps.
+	projSlack = 1e-4
+)
+
+// Frame is an equirectangular projection of a bounded lat/lng region:
+// X = lng·cos(lat₀)·R, Y = lat·R (angles in radians), with the
+// reference latitude lat₀ quantized to a whole degree so projections
+// are shareable between frames built over the same neighbourhood (see
+// (*traj.Trajectory).ProjectedPoints). The zero Frame is invalid.
+type Frame struct {
+	cosRef float64 // cos of the quantized reference latitude
+	refKey int32   // quantized reference latitude, degrees
+	loF    float64 // certified haversine ∈ [p·loF, p·hiF]
+	hiF    float64
+	ok     bool
+}
+
+// FrameFor builds a frame covering the closed region
+// [minLat, maxLat] × [minLng, maxLng] (degrees, no antimeridian wrap:
+// minLng ≤ maxLng). The frame is invalid — OK() == false, meaning every
+// decision must use haversine — when the region reaches beyond ±85°
+// latitude, spans ≥ 90° of longitude, is empty, or has a non-finite
+// corner.
+func FrameFor(minLat, maxLat, minLng, maxLng float64) Frame {
+	if !(minLat <= maxLat) || !(minLng <= maxLng) { // also rejects NaN
+		return Frame{}
+	}
+	if !(minLat >= -frameMaxAbsLat) || !(maxLat <= frameMaxAbsLat) {
+		return Frame{}
+	}
+	if !(maxLng-minLng < frameMaxLngSpan) || math.IsInf(minLng, 0) {
+		return Frame{}
+	}
+
+	refDeg := math.Round((minLat + maxLat) / 2)
+	cosRef := math.Cos(refDeg * math.Pi / 180)
+
+	// Maximum angular separations within the region, radians.
+	dPhi := (maxLat - minLat) * math.Pi / 180
+	dLam := (maxLng - minLng) * math.Pi / 180
+
+	// cos(lat) band over the region's latitudes.
+	aLo, aHi := math.Abs(minLat), math.Abs(maxLat)
+	if aLo > aHi {
+		aLo, aHi = aHi, aLo
+	}
+	cLo := math.Cos(aHi * math.Pi / 180)
+	cHi := math.Cos(aLo * math.Pi / 180)
+	if minLat <= 0 && maxLat >= 0 {
+		cHi = 1
+	}
+
+	// Chord vs planar: per-component ratios bounded by sinc of the
+	// half-separations and the cos band; the ratio of sums is bounded
+	// by the extreme component ratios (mediant inequality).
+	s1 := sinc(dPhi / 2)
+	s2 := sinc(dLam / 2)
+	rLo := math.Min(s1, s2*cLo/cosRef)
+	rHi := math.Max(1, cHi/cosRef)
+
+	// Arc vs chord: h = c·(θ/2)/sin(θ/2) with the central angle θ
+	// bounded by the meridian+parallel path, capped at π.
+	theta := math.Min(dPhi+dLam, math.Pi)
+	arc := 1 / sinc(theta/2)
+
+	return Frame{
+		cosRef: cosRef,
+		refKey: int32(refDeg),
+		loF:    rLo * (1 - frameShave),
+		hiF:    rHi * arc * (1 + frameShave),
+		ok:     true,
+	}
+}
+
+// sinc is sin(x)/x, continuously 1 at zero.
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return math.Sin(x) / x
+}
+
+// OK reports whether the frame covers its region with a certified error
+// band; an invalid frame must not be used to decide anything.
+func (f Frame) OK() bool { return f.ok }
+
+// RefKey identifies the projection itself (the quantized reference
+// latitude): two frames with equal RefKey project every point to
+// identical coordinates, which is what makes per-trajectory projection
+// caches shareable across the frames of its pairs.
+func (f Frame) RefKey() int32 { return f.refKey }
+
+// Factors returns the certified band: for any two region points with
+// planar projected distance p, haversine ∈ [p·lo, p·hi].
+func (f Frame) Factors() (lo, hi float64) { return f.loF, f.hiF }
+
+// Project maps p into the frame's planar coordinates. Only RefKey
+// determines the mapping, so results may be cached per (point, RefKey).
+func (f Frame) Project(p Point) Projected {
+	return Projected{
+		X: p.Lng * (math.Pi / 180) * EarthRadiusMeters * f.cosRef,
+		Y: p.Lat * (math.Pi / 180) * EarthRadiusMeters,
+	}
+}
+
+// ProjectAll maps every point into the frame's planar coordinates.
+func (f Frame) ProjectAll(pts []Point) []Projected {
+	out := make([]Projected, len(pts))
+	for i, p := range pts {
+		out[i] = f.Project(p)
+	}
+	return out
+}
+
+// Thresholds converts a haversine threshold eps into squared planar
+// cutoffs: d² ≤ within2 certifies haversine ≤ eps, d² > beyond2
+// certifies haversine > eps, and the band between must fall back to
+// haversine. Requires a valid frame and eps ≥ 0.
+func (f Frame) Thresholds(eps float64) (within2, beyond2 float64) {
+	within := eps/f.hiF - projSlack
+	if within < 0 {
+		within2 = -1 // d² ≥ 0: certifies nothing
+	} else {
+		within2 = within * within
+	}
+	beyond := eps/f.loF + projSlack
+	beyond2 = beyond * beyond
+	return within2, beyond2
+}

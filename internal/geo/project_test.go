@@ -1,0 +1,193 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHaversinePreparedBitIdentical pins the tentpole's foundation: the
+// prepared form with hoisted cosines returns the bit-identical float64
+// for every point pair, including poles, the antimeridian, and
+// identical points.
+func TestHaversinePreparedBitIdentical(t *testing.T) {
+	pts := []Point{
+		{0, 0}, {0, 180}, {0, -180}, {90, 0}, {-90, 45},
+		{89.9999, 12}, {-89.9999, -170}, {39.9, 116.4}, {39.90001, 116.40001},
+		{51.5, -0.1}, {-33.9, 151.2}, {0.0001, -179.9999},
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		pts = append(pts, Point{rng.Float64()*180 - 90, rng.Float64()*360 - 180})
+	}
+	for _, a := range pts {
+		ca := CosLat(a)
+		for _, b := range pts {
+			want := Haversine(a, b)
+			got := HaversinePrepared(a, b, ca, CosLat(b))
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("HaversinePrepared(%v, %v) = %v, Haversine = %v (bits differ)", a, b, got, want)
+			}
+		}
+	}
+	p := Prepare(pts[7])
+	if p.CosLat != CosLat(pts[7]) || p.P != pts[7] {
+		t.Fatalf("Prepare(%v) = %+v", pts[7], p)
+	}
+}
+
+func TestIsHaversine(t *testing.T) {
+	if !IsHaversine(Haversine) {
+		t.Fatal("IsHaversine(Haversine) = false")
+	}
+	wrapped := func(a, b Point) float64 { return Haversine(a, b) }
+	if IsHaversine(wrapped) {
+		t.Fatal("IsHaversine(closure over Haversine) = true; must be false (unknown code)")
+	}
+	if IsHaversine(Euclidean) || IsHaversine(nil) {
+		t.Fatal("IsHaversine(Euclidean or nil) = true")
+	}
+}
+
+// TestFrameForRejects pins the failure modes that must force the
+// haversine fallback: poles, antimeridian-size longitude spans, empty
+// and non-finite regions.
+func TestFrameForRejects(t *testing.T) {
+	bad := []struct {
+		name                           string
+		minLat, maxLat, minLng, maxLng float64
+	}{
+		{"past north cutoff", 80, 86, 0, 1},
+		{"past south cutoff", -89, -80, 0, 1},
+		{"wide longitude", 0, 1, -50, 50},
+		{"antimeridian unwrapped", 0, 1, -179, 179},
+		{"inverted lat", 5, 4, 0, 1},
+		{"inverted lng", 0, 1, 5, 4},
+		{"nan", math.NaN(), 1, 0, 1},
+		{"inf lng", 0, 1, math.Inf(-1), math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if f := FrameFor(tc.minLat, tc.maxLat, tc.minLng, tc.maxLng); f.OK() {
+			t.Errorf("%s: FrameFor(%v,%v,%v,%v).OK() = true, want false",
+				tc.name, tc.minLat, tc.maxLat, tc.minLng, tc.maxLng)
+		}
+	}
+	if f := FrameFor(39.8, 40.1, 116.2, 116.6); !f.OK() {
+		t.Fatal("typical urban region rejected")
+	}
+}
+
+// TestFrameErrorBound samples random regions and point pairs and
+// asserts the certified band: p·lo ≤ haversine ≤ p·hi, and that the
+// Thresholds decisions never contradict the haversine truth. Regions
+// sweep latitude spans from street scale to tens of degrees, which is
+// the documented error-bound-vs-latitude-span behaviour.
+func TestFrameErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	spans := []float64{0.0005, 0.01, 0.2, 1, 5, 20, 60}
+	for _, span := range spans {
+		var worstLo, worstHi float64 = 1, 1
+		for trial := 0; trial < 200; trial++ {
+			lat0 := rng.Float64()*160 - 80
+			lng0 := rng.Float64()*300 - 150
+			latSpan := span * (0.5 + rng.Float64())
+			lngSpan := span * (0.5 + rng.Float64())
+			f := FrameFor(lat0, lat0+latSpan, lng0, lng0+lngSpan)
+			if !f.OK() {
+				continue // clipped by the pole/width gates; fine
+			}
+			lo, hi := f.Factors()
+			if !(lo > 0 && hi >= lo) {
+				t.Fatalf("span %v: degenerate factors lo=%v hi=%v", span, lo, hi)
+			}
+			for k := 0; k < 50; k++ {
+				a := Point{lat0 + rng.Float64()*latSpan, lng0 + rng.Float64()*lngSpan}
+				b := Point{lat0 + rng.Float64()*latSpan, lng0 + rng.Float64()*lngSpan}
+				pa, pb := f.Project(a), f.Project(b)
+				dx, dy := pa.X-pb.X, pa.Y-pb.Y
+				p := math.Sqrt(dx*dx + dy*dy)
+				h := Haversine(a, b)
+				if h < p*lo-projSlack || h > p*hi+projSlack {
+					t.Fatalf("span %v: band violated: h=%v p=%v lo=%v hi=%v (a=%v b=%v)",
+						span, h, p, lo, hi, a, b)
+				}
+				if p > 0 {
+					if r := h / p; r < worstLo {
+						worstLo = r
+					} else if r > worstHi {
+						worstHi = r
+					}
+				}
+				// Decision soundness at an eps near the pair's distance.
+				eps := h * (0.9 + 0.2*rng.Float64())
+				within2, beyond2 := f.Thresholds(eps)
+				d2 := dx*dx + dy*dy
+				if d2 <= within2 && !(h <= eps) {
+					t.Fatalf("span %v: certified-within but h=%v > eps=%v", span, h, eps)
+				}
+				if d2 > beyond2 && !(h > eps) {
+					t.Fatalf("span %v: certified-beyond but h=%v <= eps=%v", span, h, eps)
+				}
+			}
+		}
+		t.Logf("span %6.4f°: observed h/p ∈ [%.9f, %.9f]", span, worstLo, worstHi)
+	}
+}
+
+// TestFrameBoundTightensWithSpan pins the documented property that the
+// certified band is a function of the region's angular span: a
+// street-scale region certifies within ~tan(lat)·Δφ ≈ parts in 10⁵,
+// while a tens-of-degrees region is visibly looser.
+func TestFrameBoundTightensWithSpan(t *testing.T) {
+	width := func(latSpan, lngSpan float64) float64 {
+		f := FrameFor(40, 40+latSpan, 116, 116+lngSpan)
+		if !f.OK() {
+			t.Fatalf("FrameFor(40..%v) rejected", 40+latSpan)
+		}
+		lo, hi := f.Factors()
+		return hi/lo - 1
+	}
+	small := width(0.001, 0.001)
+	mid := width(1, 1)
+	big := width(30, 30)
+	if !(small < mid && mid < big) {
+		t.Fatalf("band width not increasing with span: %v, %v, %v", small, mid, big)
+	}
+	if small > 1e-4 {
+		t.Fatalf("street-scale band too loose: %v", small)
+	}
+	if mid > 0.05 {
+		t.Fatalf("1° band too loose: %v", mid)
+	}
+}
+
+// TestFrameProjectionSharedByRefKey pins the cacheability contract:
+// frames with equal RefKey project identically.
+func TestFrameProjectionSharedByRefKey(t *testing.T) {
+	f1 := FrameFor(39.8, 40.1, 116.2, 116.6)
+	f2 := FrameFor(39.9, 40.2, 117.0, 117.4)
+	if !f1.OK() || !f2.OK() {
+		t.Fatal("frames rejected")
+	}
+	if f1.RefKey() != f2.RefKey() {
+		t.Fatalf("RefKey %d != %d for neighbouring regions", f1.RefKey(), f2.RefKey())
+	}
+	p := Point{39.95, 116.5}
+	if f1.Project(p) != f2.Project(p) {
+		t.Fatal("equal RefKey but different projections")
+	}
+}
+
+// TestThresholdsDegenerate pins the tiny-eps corner: when eps is inside
+// the slack, nothing is certified within and everything lands in the
+// fallback band or beyond.
+func TestThresholdsDegenerate(t *testing.T) {
+	f := FrameFor(39.8, 40.1, 116.2, 116.6)
+	within2, beyond2 := f.Thresholds(1e-6)
+	if within2 >= 0 {
+		t.Fatalf("within2 = %v for sub-slack eps, want negative sentinel", within2)
+	}
+	if !(beyond2 > 0) {
+		t.Fatalf("beyond2 = %v", beyond2)
+	}
+}

@@ -268,12 +268,13 @@ func gtm(a, b []geo.Point, xi, tau int, self bool, opt *core.Options, star bool)
 	if star {
 		// GTM* never materializes the grid (§5.5, Idea i), so there is
 		// nothing for an ArtifactSource to reuse.
-		grid = &dmatrix.Fly{A: a, B: b, DF: df}
+		grid = dmatrix.NewFlyCross(a, b, df)
 		rbPoint = bounds.NewRelaxed(grid, bounds.PointParams(xi, self))
 	} else {
 		var m *dmatrix.Matrix
 		m, rbPoint, reused = core.ResolveArtifacts(opt.Artifacts).Artifacts(core.ArtifactRequest{
 			A: a, B: b, Self: self, Xi: xi, WithBounds: true, Dist: df, Workers: workers,
+			Float32: opt.Float32Grids,
 		})
 		grid = m
 		gridBytes = m.Bytes()

@@ -28,6 +28,7 @@ package join
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"trajmotif/internal/dist"
@@ -57,6 +58,19 @@ type Options struct {
 	// for the same ground distance as Dist. Results and all non-Index
 	// Stats fields are unchanged by it.
 	Index *spatial.Index
+	// Projected routes the decision DP (filter 3) through the
+	// equirectangular projected kernel when Dist is haversine: cells the
+	// per-pair frame's certified error band can decide skip the haversine
+	// entirely, and undecidable cells fall back per cell (counted in
+	// Stats.ProjectionFallbacks). Results and every other Stats counter
+	// are byte-identical to the unprojected join; ignored for non-
+	// haversine metrics.
+	Projected bool
+	// EndpointDists, when non-nil, supplies the endpoint ground distances
+	// df(a[0], b[0]) and df(a[n-1], b[m-1]) for the pair (i, j) — e.g.
+	// from a store-level memo. Returned values must be bit-identical to
+	// direct evaluation; ok=false falls back to computing them.
+	EndpointDists func(i, j int) (d0, dn float64, ok bool)
 }
 
 func (o *Options) dist() geo.DistanceFunc {
@@ -80,6 +94,11 @@ type Stats struct {
 	// keeping that counter byte-identical to the index-free join.
 	IndexConsulted int64
 	IndexPruned    int64
+	// ProjectionFallbacks counts decision-DP cells (or whole pairs, when
+	// no valid frame exists) where the projected kernel's error band
+	// could not certify the comparison and the haversine was consulted.
+	// Zero unless Options.Projected is in effect.
+	ProjectionFallbacks int64
 }
 
 // Join reports all pairs of trajectories within DFD eps of each other.
@@ -143,12 +162,41 @@ func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, erro
 		}
 	}
 
+	hav := geo.IsHaversine(df)
+	// Hoist cos(lat) for the endpoint cascade: filter 1 touches each
+	// trajectory's first/last point once per candidate pair, so the four
+	// cos calls per pair become four table lookups (bit-identical —
+	// HaversinePrepared runs the same core as Haversine).
+	var cosFirst, cosLast []float64
+	if hav {
+		cosFirst = make([]float64, len(ts))
+		cosLast = make([]float64, len(ts))
+		for k, t := range ts {
+			cosFirst[k] = geo.CosLat(t.Points[0])
+			cosLast[k] = geo.CosLat(t.Points[len(t.Points)-1])
+		}
+	}
+	endpointDists := func(i, j int) (d0, dn float64) {
+		if opt != nil && opt.EndpointDists != nil {
+			if m0, mn, ok := opt.EndpointDists(i, j); ok {
+				return m0, mn
+			}
+		}
+		a, b := ts[i].Points, ts[j].Points
+		if hav {
+			return geo.HaversinePrepared(a[0], b[0], cosFirst[i], cosFirst[j]),
+				geo.HaversinePrepared(a[len(a)-1], b[len(b)-1], cosLast[i], cosLast[j])
+		}
+		return df(a[0], b[0]), df(a[len(a)-1], b[len(b)-1])
+	}
+	projected := hav && opt != nil && opt.Projected
+
 	var out []Pair
 	survivors(func(i, j int) {
 		a, b := ts[i].Points, ts[j].Points
 
 		// Filter 1: endpoint bound.
-		if df(a[0], b[0]) > eps || df(a[len(a)-1], b[len(b)-1]) > eps {
+		if d0, dn := endpointDists(i, j); d0 > eps || dn > eps {
 			st.EndpointPruned++
 			return
 		}
@@ -157,8 +205,22 @@ func Join(ts []*traj.Trajectory, eps float64, opt *Options) ([]Pair, Stats, erro
 			st.BoxPruned++
 			return
 		}
-		// Filter 3: decision DP.
-		if !DFDWithin(a, b, df, eps) {
+		// Filter 3: decision DP, optionally through the projected kernel
+		// (same boolean, cell-level haversine fallback where the frame's
+		// error band cannot certify the comparison).
+		var within bool
+		if projected {
+			f := pairFrame(boxes[i], boxes[j])
+			var pa, pb []geo.Projected
+			if f.OK() {
+				pa = ts[i].ProjectedPoints(f)
+				pb = ts[j].ProjectedPoints(f)
+			}
+			within = dist.DFDDecisionProjected(a, b, pa, pb, f, eps, &st.ProjectionFallbacks)
+		} else {
+			within = DFDWithin(a, b, df, eps)
+		}
+		if !within {
 			st.DecisionRejected++
 			return
 		}
@@ -182,6 +244,18 @@ func DFDWithin(a, b []geo.Point, df geo.DistanceFunc, eps float64) bool {
 		return false
 	}
 	return dist.DFDDecision(a, b, df, eps)
+}
+
+// pairFrame builds the shared projection frame for a candidate pair from
+// the union of the two trajectories' bounding boxes. The zero Frame (not
+// OK) is returned for regions the certified error band cannot cover —
+// pole-adjacent, antimeridian-spanning, or very wide boxes — and the
+// caller falls back to the haversine decision for the whole pair.
+func pairFrame(a, b spatial.MBR) geo.Frame {
+	return geo.FrameFor(
+		math.Min(a.MinLat, b.MinLat), math.Max(a.MaxLat, b.MaxLat),
+		math.Min(a.MinLng, b.MinLng), math.Max(a.MaxLng, b.MaxLng),
+	)
 }
 
 // probeBound lower-bounds DFD(a, ·) for any trajectory inside bb: every

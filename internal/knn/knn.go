@@ -98,12 +98,35 @@ func Nearest(query *traj.Trajectory, dataset []*traj.Trajectory, k int, opt *Opt
 	q := query.Points
 	qBox := spatial.Bound(q)
 
+	// On the haversine metric the query side of every bound touches the
+	// same few fixed points for all candidates, so their cos(lat) factors
+	// are hoisted out of the per-candidate loop once (HaversinePrepared
+	// is bit-identical to Haversine — same core arithmetic).
+	hav := geo.IsHaversine(df)
+	var qFirst, qLast geo.PreparedPoint
+	var qProbes [3]geo.PreparedPoint
+	if hav {
+		qFirst = geo.Prepare(q[0])
+		qLast = geo.Prepare(q[len(q)-1])
+		for k, idx := range [...]int{0, len(q) / 2, len(q) - 1} {
+			qProbes[k] = geo.Prepare(q[idx])
+		}
+	}
+
 	// lowerBound is the cheap per-candidate bound of the package comment,
 	// shared verbatim by both paths (pBox must be the candidate's MBR).
 	lowerBound := func(i int, pBox spatial.MBR) float64 {
 		p := dataset[i].Points
-		lb := math.Max(df(q[0], p[0]), df(q[len(q)-1], p[len(p)-1]))
-		lb = math.Max(lb, probeBound(q, pBox, df))
+		var lb float64
+		if hav {
+			lb = math.Max(
+				geo.HaversinePrepared(qFirst.P, p[0], qFirst.CosLat, geo.CosLat(p[0])),
+				geo.HaversinePrepared(qLast.P, p[len(p)-1], qLast.CosLat, geo.CosLat(p[len(p)-1])))
+			lb = math.Max(lb, probeBoundPrepared(qProbes[:], pBox))
+		} else {
+			lb = math.Max(df(q[0], p[0]), df(q[len(q)-1], p[len(p)-1]))
+			lb = math.Max(lb, probeBound(q, pBox, df))
+		}
 		return math.Max(lb, probeBound(p, qBox, df))
 	}
 
@@ -279,6 +302,20 @@ func (h *nbrHeap) Pop() any {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// probeBoundPrepared is probeBound over pre-selected query probes with
+// hoisted cos(lat) factors; only the clamp point's factor is computed per
+// call. Bit-identical to probeBound on the same probes under haversine.
+func probeBoundPrepared(probes []geo.PreparedPoint, bb spatial.MBR) float64 {
+	lb := 0.0
+	for _, pp := range probes {
+		c := bb.Clamp(pp.P)
+		if d := geo.HaversinePrepared(pp.P, c, pp.CosLat, geo.CosLat(c)); d > lb {
+			lb = d
+		}
+	}
+	return lb
 }
 
 // probeBound lower-bounds DFD(a, ·) for any trajectory inside bb: every

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -38,6 +39,19 @@ type Config struct {
 	Seed int64
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// MaxP50, MaxP95 and MaxP99 are per-endpoint latency ceilings
+	// enforced by Report.Check: a run whose p50/p95/p99 for any endpoint
+	// exceeds the ceiling fails the gate. Zero disables that percentile's
+	// check.
+	MaxP50, MaxP95, MaxP99 time.Duration
+}
+
+// LatencyStats summarizes one endpoint's observed request latencies
+// (transport failures excluded — they are failures outright).
+type LatencyStats struct {
+	Count         int
+	P50, P95, P99 time.Duration
+	Max           time.Duration
 }
 
 // Report is the outcome of a run. Status classes the harness considers
@@ -51,6 +65,12 @@ type Report struct {
 	ServerErrors    int // 5xx responses
 	TransportErrors int // connection/timeout failures
 	FirstErrors     []string
+
+	// Latency holds per-endpoint percentiles (nearest-rank over every
+	// completed request of that op); the Max* ceilings echo the Config
+	// so Check can enforce them.
+	Latency                map[string]LatencyStats
+	MaxP50, MaxP95, MaxP99 time.Duration
 
 	// Scraped after the workers drain.
 	FinalTrajectories int
@@ -78,7 +98,58 @@ func (r *Report) Check(maxTrajectories int) error {
 	case maxTrajectories > 0 && r.FinalTrajectories > maxTrajectories:
 		return fmt.Errorf("registry holds %d trajectories past the cap of %d", r.FinalTrajectories, maxTrajectories)
 	}
+	return r.checkLatency()
+}
+
+// checkLatency enforces the configured percentile ceilings per endpoint,
+// walking ops in sorted order so a multi-violation run reports the same
+// offender every time.
+func (r *Report) checkLatency() error {
+	gates := []struct {
+		name string
+		lim  time.Duration
+		pick func(LatencyStats) time.Duration
+	}{
+		{"p50", r.MaxP50, func(l LatencyStats) time.Duration { return l.P50 }},
+		{"p95", r.MaxP95, func(l LatencyStats) time.Duration { return l.P95 }},
+		{"p99", r.MaxP99, func(l LatencyStats) time.Duration { return l.P99 }},
+	}
+	ops := make([]string, 0, len(r.Latency))
+	for op := range r.Latency {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, g := range gates {
+		if g.lim <= 0 {
+			continue
+		}
+		for _, op := range ops {
+			if v := g.pick(r.Latency[op]); v > g.lim {
+				return fmt.Errorf("%s %s latency %v exceeds ceiling %v", op, g.name, v, g.lim)
+			}
+		}
+	}
 	return nil
+}
+
+// percentiles reduces one op's samples by nearest rank: p(q) is the
+// ceil(q·n)-th smallest sample.
+func percentiles(ds []time.Duration) LatencyStats {
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	at := func(q float64) time.Duration {
+		k := int(math.Ceil(q*float64(len(ds)))) - 1
+		if k < 0 {
+			k = 0
+		}
+		return ds[k]
+	}
+	return LatencyStats{
+		Count: len(ds),
+		P50:   at(0.50),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Max:   ds[len(ds)-1],
+	}
 }
 
 // String renders the one-screen summary motifload prints.
@@ -101,6 +172,17 @@ func (r *Report) String() string {
 	b.WriteString("\nstatus")
 	for _, c := range codes {
 		fmt.Fprintf(&b, " %d=%d", c, r.ByStatus[c])
+	}
+	lops := make([]string, 0, len(r.Latency))
+	for op := range r.Latency {
+		lops = append(lops, op)
+	}
+	sort.Strings(lops)
+	for _, op := range lops {
+		l := r.Latency[op]
+		fmt.Fprintf(&b, "\nlatency %s: p50=%v p95=%v p99=%v max=%v n=%d",
+			op, l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond),
+			l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond), l.Count)
 	}
 	fmt.Fprintf(&b, "\nfinal: trajectories=%d evictedLRU=%d evictedTTL=%d rejected=%d metricsSamples=%d",
 		r.FinalTrajectories, r.EvictedLRU, r.EvictedTTL, r.Rejected, r.MetricsSamples)
@@ -147,14 +229,18 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	rep := &Report{ByOp: make(map[string]int), ByStatus: make(map[int]int)}
+	rep := &Report{
+		ByOp: make(map[string]int), ByStatus: make(map[int]int),
+		MaxP50: cfg.MaxP50, MaxP95: cfg.MaxP95, MaxP99: cfg.MaxP99,
+	}
 	var (
-		mu  sync.Mutex // guards rep and ids
-		ids []string   // ids this run has uploaded and not yet deleted
+		mu   sync.Mutex // guards rep, ids and durs
+		ids  []string   // ids this run has uploaded and not yet deleted
+		durs = make(map[string][]time.Duration)
 	)
 	client := &http.Client{Timeout: cfg.Timeout}
 
-	record := func(op string, status int, err error) {
+	record := func(op string, status int, err error, d time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		rep.Ops++
@@ -166,6 +252,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 			return
 		}
+		durs[op] = append(durs[op], d)
 		rep.ByStatus[status]++
 		if status >= 500 {
 			rep.ServerErrors++
@@ -186,9 +273,22 @@ func Run(cfg Config) (*Report, error) {
 	post := func(path string, body []byte) (*http.Response, error) {
 		return client.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(body))
 	}
+	// timed issues one request, times it wall-to-wall (including reading
+	// the status), and records the outcome under op.
+	timed := func(op string, fn func() (*http.Response, error)) {
+		start := time.Now()
+		resp, err := fn()
+		if err == nil {
+			resp.Body.Close()
+			record(op, resp.StatusCode, nil, time.Since(start))
+		} else {
+			record(op, 0, err, 0)
+		}
+	}
 
 	doUpload := func(rng *rand.Rand) {
 		body := bodies[rng.Intn(len(bodies))]
+		start := time.Now()
 		resp, err := post("/trajectories", body)
 		var id string
 		if err == nil {
@@ -200,9 +300,9 @@ func Run(cfg Config) (*Report, error) {
 				id = out.ID
 			}
 			resp.Body.Close()
-			record("upload", resp.StatusCode, nil)
+			record("upload", resp.StatusCode, nil, time.Since(start))
 		} else {
-			record("upload", 0, err)
+			record("upload", 0, err, 0)
 		}
 		if id != "" {
 			mu.Lock()
@@ -234,13 +334,7 @@ func Run(cfg Config) (*Report, error) {
 						continue
 					}
 					b, _ := json.Marshal(map[string]any{"id": id, "xi": 6})
-					resp, err := post("/discover", b)
-					if err == nil {
-						resp.Body.Close()
-						record("discover", resp.StatusCode, nil)
-					} else {
-						record("discover", 0, err)
-					}
+					timed("discover", func() (*http.Response, error) { return post("/discover", b) })
 				case p < 0.72: // knn over the default dataset
 					id, ok := randomID(rng)
 					if !ok {
@@ -248,54 +342,36 @@ func Run(cfg Config) (*Report, error) {
 						continue
 					}
 					b, _ := json.Marshal(map[string]any{"query": id, "k": 2})
-					resp, err := post("/knn", b)
-					if err == nil {
-						resp.Body.Close()
-						record("knn", resp.StatusCode, nil)
-					} else {
-						record("knn", 0, err)
-					}
+					timed("knn", func() (*http.Response, error) { return post("/knn", b) })
 				case p < 0.80: // join over the default dataset
 					b, _ := json.Marshal(map[string]any{"eps": 500.0})
-					resp, err := post("/join", b)
-					if err == nil {
-						resp.Body.Close()
-						record("join", resp.StatusCode, nil)
-					} else {
-						record("join", 0, err)
-					}
+					timed("join", func() (*http.Response, error) { return post("/join", b) })
 				case p < 0.90: // delete a known id
 					id, ok := randomID(rng)
 					if !ok {
 						doUpload(rng)
 						continue
 					}
-					req, _ := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/trajectories/"+id, nil)
-					resp, err := client.Do(req)
-					if err == nil {
-						resp.Body.Close()
-						record("delete", resp.StatusCode, nil)
-					} else {
-						record("delete", 0, err)
-					}
+					timed("delete", func() (*http.Response, error) {
+						req, _ := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/trajectories/"+id, nil)
+						return client.Do(req)
+					})
 				default: // observability endpoints under traffic
 					path := "/stats"
 					if rng.Intn(2) == 0 {
 						path = "/metrics"
 					}
-					resp, err := client.Get(cfg.BaseURL + path)
-					if err == nil {
-						resp.Body.Close()
-						record("observe", resp.StatusCode, nil)
-					} else {
-						record("observe", 0, err)
-					}
+					timed("observe", func() (*http.Response, error) { return client.Get(cfg.BaseURL + path) })
 				}
 			}
 		}(w, perWorker+extra)
 	}
 	wg.Wait()
 
+	rep.Latency = make(map[string]LatencyStats, len(durs))
+	for op, ds := range durs {
+		rep.Latency[op] = percentiles(ds)
+	}
 	scrapeFinal(client, cfg.BaseURL, rep)
 	return rep, nil
 }

@@ -2,7 +2,9 @@ package loadgen
 
 import (
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"trajmotif/internal/serve"
 	"trajmotif/internal/store"
@@ -40,6 +42,13 @@ func TestRunAgainstCappedServer(t *testing.T) {
 	}
 	if rep.ByOp["upload"] == 0 || rep.ByOp["discover"] == 0 {
 		t.Errorf("op mix degenerate: %v", rep.ByOp)
+	}
+	// Latency percentiles cover every op that completed a request.
+	for op, n := range rep.ByOp {
+		l, ok := rep.Latency[op]
+		if !ok || l.Count == 0 || l.Count > n || l.P50 <= 0 || l.P99 < l.P50 || l.Max < l.P99 {
+			t.Errorf("latency for %s inconsistent: %+v (ops %d)", op, l, n)
+		}
 	}
 }
 
@@ -96,5 +105,48 @@ func TestCheckRejectsViolations(t *testing.T) {
 	}
 	if r.Check(0) != nil {
 		t.Error("cap check should be skipped when the cap is unknown")
+	}
+
+	// Latency ceilings: each percentile gate fires independently, zero
+	// disables it.
+	r = base()
+	r.Latency = map[string]LatencyStats{
+		"join": {Count: 10, P50: 5 * time.Millisecond, P95: 40 * time.Millisecond, P99: 90 * time.Millisecond},
+	}
+	if r.Check(0) != nil {
+		t.Error("latency without ceilings should pass")
+	}
+	r.MaxP50 = time.Millisecond
+	if err := r.Check(0); err == nil || !strings.Contains(err.Error(), "p50") {
+		t.Errorf("p50 blowup not rejected: %v", err)
+	}
+	r.MaxP50, r.MaxP95 = 0, 10*time.Millisecond
+	if err := r.Check(0); err == nil || !strings.Contains(err.Error(), "p95") {
+		t.Errorf("p95 blowup not rejected: %v", err)
+	}
+	r.MaxP95, r.MaxP99 = 0, 50*time.Millisecond
+	if err := r.Check(0); err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("p99 blowup not rejected: %v", err)
+	}
+	r.MaxP99 = time.Second
+	if err := r.Check(0); err != nil {
+		t.Errorf("latencies under the ceilings rejected: %v", err)
+	}
+}
+
+// TestPercentiles pins the nearest-rank reduction on a known sample set.
+func TestPercentiles(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(100-i) * time.Millisecond // 1..100ms, reversed
+	}
+	l := percentiles(ds)
+	if l.Count != 100 || l.P50 != 50*time.Millisecond || l.P95 != 95*time.Millisecond ||
+		l.P99 != 99*time.Millisecond || l.Max != 100*time.Millisecond {
+		t.Fatalf("percentiles = %+v", l)
+	}
+	one := percentiles([]time.Duration{7 * time.Millisecond})
+	if one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond || one.Count != 1 {
+		t.Fatalf("single-sample percentiles = %+v", one)
 	}
 }

@@ -124,6 +124,10 @@ type Server struct {
 	// surfaced in GET /stats next to the cache-reuse counters.
 	indexConsulted atomic.Int64
 	indexPruned    atomic.Int64
+	// Cumulative projected-kernel fallbacks across /join requests:
+	// decision cells the projection's certified error band could not
+	// decide and the haversine answered instead.
+	projectionFallbacks atomic.Int64
 }
 
 // New builds a server around st. opt may be nil for defaults.
@@ -867,10 +871,16 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	// Projected is a no-op for non-haversine metrics, and the endpoint
+	// memo serves the cascade the exact float64s it would compute — both
+	// leave results and the shared counters byte-identical, so they are
+	// always on.
 	pairs, st, err := join.Join(ts, req.Eps, &join.Options{
-		Dist:  s.st.Dist(),
-		Exact: req.Exact,
-		Index: s.st.IndexFor(ids, ts),
+		Dist:          s.st.Dist(),
+		Exact:         req.Exact,
+		Index:         s.st.IndexFor(ids, ts),
+		Projected:     true,
+		EndpointDists: s.st.EndpointDists(ts),
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -878,6 +888,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	s.indexConsulted.Add(st.IndexConsulted)
 	s.indexPruned.Add(st.IndexPruned)
+	s.projectionFallbacks.Add(st.ProjectionFallbacks)
 	out := joinResponse{Pairs: make([]joinPairResponse, len(pairs)), Stats: st}
 	for k, p := range pairs {
 		out.Pairs[k] = joinPairResponse{IDA: ids[p.I], IDB: ids[p.J], I: p.I, J: p.J, Distance: p.Distance}
@@ -954,6 +965,9 @@ type serverStats struct {
 	EvictedTTL          int64  `json:"evictedTTL"`
 	IndexConsulted      int64  `json:"indexConsulted"`
 	IndexPruned         int64  `json:"indexPruned"`
+	PairDistsBuilt      int64  `json:"pairDistsBuilt"`
+	PairDistsReused     int64  `json:"pairDistsReused"`
+	ProjectionFallbacks int64  `json:"projectionFallbacks"`
 	Requests            int64  `json:"requests"`
 	Rejected            int64  `json:"rejected"`
 	Uptime              string `json:"uptime"`
@@ -975,6 +989,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EvictedTTL:          st.EvictedTTL,
 		IndexConsulted:      s.indexConsulted.Load(),
 		IndexPruned:         s.indexPruned.Load(),
+		PairDistsBuilt:      st.PairDistsBuilt,
+		PairDistsReused:     st.PairDistsReused,
+		ProjectionFallbacks: s.projectionFallbacks.Load(),
 		Requests:            s.requests.Load(),
 		Rejected:            s.rejected.Load(),
 		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),

@@ -103,6 +103,10 @@ type Stats struct {
 	// registry by the MaxTrajectories cap and the TrajectoryTTL expiry
 	// respectively (Removed covers the manual cause).
 	EvictedLRU, EvictedTTL int64
+	// PairDistsBuilt and PairDistsReused count endpoint-distance memo
+	// misses and hits (EndpointDists). A hit saves two ground-distance
+	// evaluations in the join's filter cascade or cluster membership.
+	PairDistsBuilt, PairDistsReused int64
 	// MaxTrajectories and TrajectoryTTL echo the configured policy
 	// (zero: unbounded / no expiry).
 	MaxTrajectories int
@@ -121,14 +125,23 @@ const (
 	kindCrossGrid
 	kindSelfBounds
 	kindCrossBounds
+	// kindPairDists memoizes the two endpoint ground distances of a
+	// trajectory pair (first-to-first, last-to-last) — the values the
+	// join's filter cascade and cluster membership recompute for every
+	// candidate pair. 16 bytes against the same budget as the grids.
+	kindPairDists
 )
 
 // artifactKey identifies one memoized artifact. b is empty for self
-// artifacts; xi is zero for grids (bound tables depend on it).
+// artifacts; xi is zero for grids (bound tables depend on it); f32
+// separates float32 grids and their bound tables from float64 ones —
+// serving one storage mode to a request for the other would silently
+// change results between cached and uncached runs.
 type artifactKey struct {
 	kind artifactKind
 	a, b ID
 	xi   int
+	f32  bool
 }
 
 // entry is one cache resident.
@@ -188,9 +201,10 @@ type Store struct {
 	lru   *list.List // front = most recently used
 	bytes int64
 
-	built, reused, evicted int64
-	removed                int64
-	evictedLRU, evictedTTL int64
+	built, reused, evicted  int64
+	removed                 int64
+	evictedLRU, evictedTTL  int64
+	pairsBuilt, pairsReused int64
 }
 
 // regEntry is one registry-recency element: the id plus its last touch.
@@ -578,6 +592,8 @@ func (s *Store) Stats() Stats {
 		Removed:         s.removed,
 		EvictedLRU:      s.evictedLRU,
 		EvictedTTL:      s.evictedTTL,
+		PairDistsBuilt:  s.pairsBuilt,
+		PairDistsReused: s.pairsReused,
 		MaxTrajectories: s.maxTraj,
 		TrajectoryTTL:   s.ttl,
 	}
@@ -621,10 +637,11 @@ func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Re
 		}
 	}
 	// Swapped-pair fallback: the (B, A) grid transposes into the (A, B)
-	// grid without touching the ground distance.
+	// grid without touching the ground distance (a float32 grid
+	// transposes to a float32 grid, so the storage mode is preserved).
 	var swapped *dmatrix.Matrix
 	if g == nil && !req.Self {
-		if e, ok := s.cache[artifactKey{kind: kindCrossGrid, a: bid, b: aid}]; ok {
+		if e, ok := s.cache[artifactKey{kind: kindCrossGrid, a: bid, b: aid, f32: req.Float32}]; ok {
 			swapped = e.val.(*dmatrix.Matrix)
 			s.lru.MoveToFront(e.elem)
 		}
@@ -640,6 +657,11 @@ func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Re
 			g = dmatrix.ComputeSelfParallel(req.A, s.df, req.Workers)
 		} else {
 			g = dmatrix.ComputeCrossParallel(req.A, req.B, s.df, req.Workers)
+		}
+		if req.Float32 && !g.Float32() {
+			// Round before deriving bounds, matching the always-compute
+			// source: bound tables and grid must agree.
+			g = g.Compact32()
 		}
 		builtGrid = true
 	}
@@ -659,6 +681,47 @@ func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Re
 	}
 	s.mu.Unlock()
 	return g, rb, reused
+}
+
+// EndpointDists returns a memoizing supplier of per-pair endpoint ground
+// distances in the shape join.Options.EndpointDists consumes: given
+// positions i, j into ts it returns df(a[0], b[0]) and
+// df(a[n-1], b[m-1]), serving repeats from the artifact cache under the
+// point-content pair key — the same key space evictLocked purges, in
+// canonical ID order (the ground distance is symmetric, so both
+// orientations share one entry). Cached values are the exact float64s
+// direct evaluation produces, so join results and counters are
+// byte-identical with or without the memo. Returns nil when caching is
+// disabled.
+func (s *Store) EndpointDists(ts []*traj.Trajectory) func(i, j int) (d0, dn float64, ok bool) {
+	if s.budget <= 0 {
+		return nil
+	}
+	return func(i, j int) (float64, float64, bool) {
+		s.mu.Lock()
+		aid := s.idForLocked(ts[i].Points)
+		bid := s.idForLocked(ts[j].Points)
+		if bid < aid {
+			aid, bid = bid, aid
+		}
+		k := artifactKey{kind: kindPairDists, a: aid, b: bid}
+		if e, ok := s.cache[k]; ok {
+			d := e.val.([2]float64)
+			s.lru.MoveToFront(e.elem)
+			s.pairsReused++
+			s.mu.Unlock()
+			return d[0], d[1], true
+		}
+		s.mu.Unlock()
+		a, b := ts[i].Points, ts[j].Points
+		d0 := s.df(a[0], b[0])
+		dn := s.df(a[len(a)-1], b[len(b)-1])
+		s.mu.Lock()
+		s.pairsBuilt++
+		s.insertLocked(k, [2]float64{d0, dn}, 16)
+		s.mu.Unlock()
+		return d0, dn, true
+	}
 }
 
 // distMatches reports whether the request's ground distance is the
@@ -702,11 +765,11 @@ func (s *Store) compute(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Rela
 
 func keysFor(req core.ArtifactRequest, aid, bid ID) (grid, bnds artifactKey) {
 	if req.Self {
-		return artifactKey{kind: kindSelfGrid, a: aid},
-			artifactKey{kind: kindSelfBounds, a: aid, xi: req.Xi}
+		return artifactKey{kind: kindSelfGrid, a: aid, f32: req.Float32},
+			artifactKey{kind: kindSelfBounds, a: aid, xi: req.Xi, f32: req.Float32}
 	}
-	return artifactKey{kind: kindCrossGrid, a: aid, b: bid},
-		artifactKey{kind: kindCrossBounds, a: aid, b: bid, xi: req.Xi}
+	return artifactKey{kind: kindCrossGrid, a: aid, b: bid, f32: req.Float32},
+		artifactKey{kind: kindCrossBounds, a: aid, b: bid, xi: req.Xi, f32: req.Float32}
 }
 
 // insertLocked adds an artifact and evicts from the LRU tail until the

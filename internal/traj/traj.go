@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"trajmotif/internal/geo"
@@ -20,6 +21,32 @@ import (
 type Trajectory struct {
 	Points []geo.Point
 	Times  []time.Time
+
+	// proj caches the latest equirectangular projection of Points. A
+	// geo.Frame's projection depends only on its quantized reference
+	// latitude (RefKey), so frames covering nearby regions share one
+	// cached entry; a single slot suffices because callers process one
+	// query region at a time. Points must not be mutated after the
+	// first ProjectedPoints call.
+	proj atomic.Pointer[projCache]
+}
+
+type projCache struct {
+	refKey int32
+	pts    []geo.Projected
+}
+
+// ProjectedPoints returns Points projected through f, serving repeated
+// calls with the same reference latitude from a per-trajectory cache.
+// The returned slice is shared — callers must not modify it.
+func (t *Trajectory) ProjectedPoints(f geo.Frame) []geo.Projected {
+	key := f.RefKey()
+	if c := t.proj.Load(); c != nil && c.refKey == key {
+		return c.pts
+	}
+	pts := f.ProjectAll(t.Points)
+	t.proj.Store(&projCache{refKey: key, pts: pts})
+	return pts
 }
 
 // New validates points (and the optional timestamps) and returns a
