@@ -4,7 +4,15 @@ FUZZTIME ?= 10s
 # suites land; never lower it to paper over a regression.
 COVER_MIN ?= 73.0
 
-.PHONY: build test bench bench-smoke fmt vet race fuzz serve-smoke load-smoke cover profile
+# Pinned external linters (versions live in tools/versions.mk).
+# LINT_EXTERNAL: auto = run them when they can be fetched/built, skip
+# with a notice otherwise (offline dev); require = fail when they cannot
+# run (CI); off = never run them.
+include tools/versions.mk
+LINT_EXTERNAL ?= auto
+TOOLSBIN := $(CURDIR)/tools/bin
+
+.PHONY: build test bench bench-smoke fmt fmt-check vet race fuzz serve-smoke load-smoke cover profile lint motiflint tools-test lint-external
 
 build:
 	$(GO) build ./...
@@ -36,6 +44,7 @@ cover:
 		awk -v min=$(COVER_MIN) '{ pct = $$NF + 0; if (pct < min) { \
 			printf "coverage %.1f%% below the %.1f%% gate\n", pct, min; exit 1 } \
 			else printf "coverage %.1f%% >= %.1f%% gate\n", pct, min }'
+	@echo "note: the motiflint analyzer suites live in the tools module and run via 'make tools-test' (outside this profile and the COVER_MIN gate)"
 
 # End-to-end serve-mode smoke: build the motifserve binary, start it on a
 # free port, upload a generated trajectory, and assert the second
@@ -72,5 +81,49 @@ bench-smoke:
 fmt:
 	gofmt -l -w .
 
+fmt-check:
+	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "gofmt needed on:"; echo "$$out"; exit 1; }
+
 vet:
 	$(GO) vet ./...
+
+# Static analysis, in order: formatting diff, go vet, the motiflint
+# invariant suite over the whole tree, the analyzer fixture tests, and
+# the pinned external linters. CI runs this with LINT_EXTERNAL=require.
+lint: fmt-check vet motiflint tools-test lint-external
+
+# The repo's invariant multichecker (tools/internal/analysis): lockcheck,
+# statsmerge, determinism, preparedgate, httperr. Exits non-zero on any
+# finding; see DESIGN.md §5 for what each analyzer enforces and the
+# //lint:ignore escape hatch.
+motiflint:
+	cd tools && $(GO) run ./cmd/motiflint -dir .. ./...
+
+# The analysistest suites for the five analyzers (plain go test in the
+# nested tools module; no third-party deps).
+tools-test:
+	cd tools && $(GO) test ./...
+
+# staticcheck + govulncheck at the versions pinned in tools/versions.mk.
+# `go install pkg@version` cleanly separates "tool unavailable" (offline:
+# skip under auto, fail under require) from "tool reported findings"
+# (always fail).
+lint-external:
+ifneq ($(LINT_EXTERNAL),off)
+	@if GOBIN=$(TOOLSBIN) $(GO) install $(STATICCHECK_PKG)@$(STATICCHECK_VERSION) >/dev/null 2>&1; then \
+		echo ">> staticcheck $(STATICCHECK_VERSION)"; $(TOOLSBIN)/staticcheck ./...; \
+	elif [ "$(LINT_EXTERNAL)" = "require" ]; then \
+		echo "lint-external: cannot build staticcheck $(STATICCHECK_VERSION)" >&2; exit 1; \
+	else \
+		echo "lint-external: staticcheck unavailable (offline?); skipping — set LINT_EXTERNAL=require to fail instead"; \
+	fi
+	@if GOBIN=$(TOOLSBIN) $(GO) install $(GOVULNCHECK_PKG)@$(GOVULNCHECK_VERSION) >/dev/null 2>&1; then \
+		echo ">> govulncheck $(GOVULNCHECK_VERSION)"; $(TOOLSBIN)/govulncheck ./...; \
+	elif [ "$(LINT_EXTERNAL)" = "require" ]; then \
+		echo "lint-external: cannot build govulncheck $(GOVULNCHECK_VERSION)" >&2; exit 1; \
+	else \
+		echo "lint-external: govulncheck unavailable (offline?); skipping — set LINT_EXTERNAL=require to fail instead"; \
+	fi
+else
+	@echo "lint-external: disabled (LINT_EXTERNAL=off)"
+endif

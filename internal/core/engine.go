@@ -292,7 +292,11 @@ func (s *Searcher) mergeWitness(w witness) {
 }
 
 // mergeEffort folds a worker's per-block effort counters into the shared
-// stats.
+// stats. Every exported Stats field must either be folded here or appear
+// in the exempt directive below — motiflint's statsmerge analyzer fails
+// the build otherwise, so a new per-worker counter cannot be forgotten.
+//
+//statsmerge:exempt N M Xi Subsets GridRebuildsAvoided PrunedByCell PrunedByCross PrunedByBand PeakBytes Precompute Search -- coordinator-owned: set once per search on the shared Stats (sizing, precompute pruning, wall time); workers only ever increment the three folded counters
 func (st *Stats) mergeEffort(o *Stats) {
 	st.SubsetsProcessed += o.SubsetsProcessed
 	st.SubsetsAbandoned += o.SubsetsAbandoned

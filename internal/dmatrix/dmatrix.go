@@ -250,6 +250,7 @@ func NewFlyCross(a, b []geo.Point, df geo.DistanceFunc) *Fly {
 // At computes dG(i, j) directly from the points.
 func (f *Fly) At(i, j int) float64 {
 	if f.cosA != nil {
+		//lint:ignore preparedgate cosA is non-nil only when NewFlySelf/NewFlyCross saw geo.IsHaversine(df); the gate lives in the constructors
 		return geo.HaversinePrepared(f.A[i], f.B[j], f.cosA[i], f.cosB[j])
 	}
 	return f.DF(f.A[i], f.B[j])

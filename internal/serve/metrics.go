@@ -69,6 +69,8 @@ func (m *metrics) requestDone(endpoint string, code int, d time.Duration) {
 // per-request accounting: the store snapshot and admission state.
 type liveCounters struct {
 	trajectories     int
+	maxTrajectories  int
+	trajectoryTTL    float64 // seconds; 0 = disabled
 	artifacts        int
 	cacheBytes       int64
 	cacheBudget      int64
@@ -78,6 +80,8 @@ type liveCounters struct {
 	evictedManual    int64
 	evictedLRU       int64
 	evictedTTL       int64
+	pairDistsBuilt   int64
+	pairDistsReused  int64
 	indexConsulted   int64
 	indexPruned      int64
 	admissionInUse   int64
@@ -137,6 +141,8 @@ func (m *metrics) render(w *strings.Builder, live liveCounters) {
 
 	gauge("motifserve_in_flight_requests", "Requests currently being served.", inFlight)
 	gauge("motifserve_trajectories", "Trajectories resident in the registry.", live.trajectories)
+	gauge("motifserve_trajectories_max", "Configured registry capacity (0 = unbounded).", live.maxTrajectories)
+	gauge("motifserve_trajectory_ttl_seconds", "Configured registry idle TTL (0 = disabled).", strconv.FormatFloat(live.trajectoryTTL, 'f', 3, 64))
 	gauge("motifserve_cache_artifacts", "Artifacts resident in the cache.", live.artifacts)
 	gauge("motifserve_cache_bytes", "Bytes resident in the artifact cache.", live.cacheBytes)
 	gauge("motifserve_cache_budget_bytes", "Configured artifact-cache byte budget.", live.cacheBudget)
@@ -150,6 +156,8 @@ func (m *metrics) render(w *strings.Builder, live liveCounters) {
 	fmt.Fprintf(w, "motifserve_trajectory_evictions_total{cause=\"lru\"} %d\n", live.evictedLRU)
 	fmt.Fprintf(w, "motifserve_trajectory_evictions_total{cause=\"ttl\"} %d\n", live.evictedTTL)
 
+	counter("motifserve_pair_dists_built_total", "Endpoint-distance memo tables built for /join.", live.pairDistsBuilt)
+	counter("motifserve_pair_dists_reused_total", "Endpoint-distance memo tables served from cache.", live.pairDistsReused)
 	counter("motifserve_index_consulted_total", "Spatial-index candidate checks across /knn and /join.", live.indexConsulted)
 	counter("motifserve_index_pruned_total", "Candidates dismissed by the spatial index alone.", live.indexPruned)
 

@@ -301,6 +301,9 @@ type statsJSON struct {
 	SubsetsAbandoned    int64   `json:"subsetsAbandoned"`
 	DPCells             int64   `json:"dpCells"`
 	GridRebuildsAvoided int64   `json:"gridRebuildsAvoided"`
+	PrunedByCell        int64   `json:"prunedByCell"`
+	PrunedByCross       int64   `json:"prunedByCross"`
+	PrunedByBand        int64   `json:"prunedByBand"`
 	PeakBytes           int64   `json:"peakBytes"`
 	PrecomputeMS        float64 `json:"precomputeMs"`
 	SearchMS            float64 `json:"searchMs"`
@@ -314,6 +317,9 @@ func statsOf(st core.Stats) statsJSON {
 		SubsetsAbandoned:    st.SubsetsAbandoned,
 		DPCells:             st.DPCells,
 		GridRebuildsAvoided: st.GridRebuildsAvoided,
+		PrunedByCell:        st.PrunedByCell,
+		PrunedByCross:       st.PrunedByCross,
+		PrunedByBand:        st.PrunedByBand,
 		PeakBytes:           st.PeakBytes,
 		PrecomputeMS:        float64(st.Precompute) / float64(time.Millisecond),
 		SearchMS:            float64(st.Search) / float64(time.Millisecond),
@@ -953,6 +959,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // accounting. gridRebuildsAvoided is the cumulative cross-request reuse.
 type serverStats struct {
 	Trajectories        int    `json:"trajectories"`
+	MaxTrajectories     int    `json:"maxTrajectories"`
+	TrajectoryTTL       string `json:"trajectoryTTL"`
 	Artifacts           int    `json:"artifacts"`
 	CacheBytes          int64  `json:"cacheBytes"`
 	CacheBudget         int64  `json:"cacheBudget"`
@@ -977,6 +985,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	writeJSON(w, http.StatusOK, serverStats{
 		Trajectories:        st.Trajectories,
+		MaxTrajectories:     st.MaxTrajectories,
+		TrajectoryTTL:       st.TrajectoryTTL.String(),
 		Artifacts:           st.Artifacts,
 		CacheBytes:          st.CacheBytes,
 		CacheBudget:         st.CacheBudget,
@@ -1006,6 +1016,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	live := liveCounters{
 		trajectories:    st.Trajectories,
+		maxTrajectories: st.MaxTrajectories,
+		trajectoryTTL:   st.TrajectoryTTL.Seconds(),
 		artifacts:       st.Artifacts,
 		cacheBytes:      st.CacheBytes,
 		cacheBudget:     st.CacheBudget,
@@ -1015,6 +1027,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		evictedManual:   st.Removed,
 		evictedLRU:      st.EvictedLRU,
 		evictedTTL:      st.EvictedTTL,
+		pairDistsBuilt:  st.PairDistsBuilt,
+		pairDistsReused: st.PairDistsReused,
 		indexConsulted:  s.indexConsulted.Load(),
 		indexPruned:     s.indexPruned.Load(),
 		admissionReject: s.rejected.Load(),

@@ -1,0 +1,76 @@
+// motiflint is the repo's invariant multichecker: five analyzers that
+// mechanically enforce the determinism, locking, and stats contracts the
+// parity tests otherwise only catch after the fact.
+//
+// Usage (from the tools module):
+//
+//	go run ./cmd/motiflint -dir .. ./...
+//
+// -dir points at the module to analyze (the repo root); the remaining
+// arguments are package patterns resolved there. Exit status is 1 when
+// any diagnostic is reported, 2 on loader/internal errors.
+//
+// Findings can be suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// either trailing the offending line or on the line above it. The reason
+// is mandatory; a malformed directive is itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trajmotif/tools/internal/analysis/determinism"
+	"trajmotif/tools/internal/analysis/httperr"
+	"trajmotif/tools/internal/analysis/lint"
+	"trajmotif/tools/internal/analysis/lockcheck"
+	"trajmotif/tools/internal/analysis/preparedgate"
+	"trajmotif/tools/internal/analysis/statsmerge"
+)
+
+var analyzers = []*lint.Analyzer{
+	determinism.Analyzer,
+	httperr.Analyzer,
+	lockcheck.Analyzer,
+	preparedgate.Analyzer,
+	statsmerge.Analyzer,
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the module to analyze")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motiflint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAll(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motiflint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "motiflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module trajmotif/tools
+
+go 1.24

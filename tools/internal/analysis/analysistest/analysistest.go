@@ -1,0 +1,250 @@
+// Package analysistest runs a lint.Analyzer over fixture packages under
+// testdata/src and checks its findings against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest with
+// only the standard library.
+//
+// Fixture layout: testdata/src/<pkg>/<file>.go, where <pkg> is both the
+// directory and the import path fixture files use for each other — a
+// fixture package named geo at testdata/src/geo can stand in for the
+// real internal/geo, because the analyzers match packages by name, not
+// import path. Standard-library imports resolve through the host
+// toolchain's compiled export data, so fixtures may use sync, net/http,
+// time, etc. freely.
+//
+// A `// want "re"` comment expects one diagnostic on its line whose
+// message matches the regexp; several string literals expect several
+// diagnostics. Lines without a want comment must produce no diagnostic.
+// //lint:ignore directives in fixtures are honored, which is how the
+// escape hatch itself is tested.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+// Run applies a to every fixture package in pkgPaths (dependencies
+// first: a package may only import ones listed before it, plus the
+// standard library) and diffs the diagnostics against want comments.
+func Run(t *testing.T, a *lint.Analyzer, testdata string, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	type fixture struct {
+		path  string
+		files []*ast.File
+	}
+	local := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		local[p] = true
+	}
+	var fixtures []fixture
+	external := make(map[string]bool)
+	for _, p := range pkgPaths {
+		dir := filepath.Join(testdata, "src", p)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
+		}
+		fx := fixture{path: p}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			fx.files = append(fx.files, f)
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && !local[path] {
+					external[path] = true
+				}
+			}
+		}
+		if len(fx.files) == 0 {
+			t.Fatalf("fixture package %s has no Go files", p)
+		}
+		fixtures = append(fixtures, fx)
+	}
+
+	imp := &fixtureImporter{
+		local: make(map[string]*types.Package),
+		std:   stdImporter(t, fset, external),
+	}
+
+	for _, fx := range fixtures {
+		info := lint.NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(fx.path, fset, fx.files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", fx.path, err)
+		}
+		imp.local[fx.path] = tpkg
+
+		pkg := &lint.Package{
+			Path:  fx.path,
+			Name:  tpkg.Name(),
+			Fset:  fset,
+			Files: fx.files,
+			Types: tpkg,
+			Info:  info,
+		}
+		diags, err := lint.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, fx.path, err)
+		}
+		checkWants(t, fset, fx.files, diags)
+	}
+}
+
+// fixtureImporter resolves fixture-local packages by path and everything
+// else through the gc export-data importer.
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.std.Import(path)
+}
+
+// stdImporter builds a gc export-data importer for the external (standard
+// library) imports the fixtures use, via `go list -deps -export`.
+func stdImporter(t *testing.T, fset *token.FileSet, paths map[string]bool) types.Importer {
+	t.Helper()
+	exports := make(map[string]string)
+	if len(paths) > 0 {
+		args := []string{"-deps", "-export", "-json=ImportPath,Export"}
+		for p := range paths {
+			args = append(args, p)
+		}
+		sort.Strings(args[3:])
+		entries, err := lint.GoList(".", args...)
+		if err != nil {
+			t.Fatalf("resolving fixture std imports: %v", err)
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// wantRe extracts the string literals of a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// checkWants diffs diagnostics against `// want` comments, both grouped
+// by (file, line).
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, pats, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+				_ = text
+			}
+		}
+	}
+
+	got := make(map[key][]lint.Diagnostic)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	for k, res := range wants {
+		ds := got[k]
+		if len(ds) != len(res) {
+			t.Errorf("%s:%d: got %d diagnostic(s), want %d: %v", k.file, k.line, len(ds), len(res), ds)
+			continue
+		}
+		used := make([]bool, len(ds))
+		for _, re := range res {
+			matched := false
+			for i, d := range ds {
+				if !used[i] && re.MatchString(d.Message) {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q; got %v", k.file, k.line, re, ds)
+			}
+		}
+	}
+	for k, ds := range got {
+		if _, ok := wants[k]; !ok {
+			for _, d := range ds {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+			}
+		}
+	}
+}
+
+// parseWant splits a `// want "re" ...` comment into its regexps.
+func parseWant(comment string) (string, []string, bool) {
+	const marker = "// want "
+	i := -1
+	for j := 0; j+len(marker) <= len(comment); j++ {
+		if comment[j:j+len(marker)] == marker {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return "", nil, false
+	}
+	rest := comment[i+len(marker):]
+	var pats []string
+	for _, lit := range wantRe.FindAllString(rest, -1) {
+		if lit[0] == '`' {
+			pats = append(pats, lit[1:len(lit)-1])
+		} else if s, err := strconv.Unquote(lit); err == nil {
+			pats = append(pats, s)
+		}
+	}
+	return rest, pats, len(pats) > 0
+}

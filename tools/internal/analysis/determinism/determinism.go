@@ -1,0 +1,155 @@
+// Package determinism guards the repo's central contract — byte-identical
+// results and effort counters across worker counts, cache states, and
+// fast-path gates — in the result-producing packages (core, join, knn,
+// group, batch, cluster):
+//
+//   - math/rand (and v2) may not be imported at all;
+//   - ranging over a map is flagged unless a sort call follows later in
+//     the same function (collect-then-sort), or the loop binds neither
+//     key nor value (pure counting);
+//   - time.Now is flagged except in functions that record wall time into
+//     a time.Duration field of a *Stats struct (the allowlisted
+//     Precompute/Search timing pattern).
+//
+// Escape hatch: //lint:ignore determinism <reason>.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "no unsorted map iteration, math/rand, or untracked wall-clock reads in result-producing packages",
+	Run:  run,
+}
+
+var scopedPackages = map[string]bool{
+	"core": true, "join": true, "knn": true, "group": true, "batch": true, "cluster": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !scopedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: result-producing packages must be deterministic", path)
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	wallTimeOK := recordsStatsDuration(pass, fd)
+
+	// Collect sort-call positions first so a map range can look forward.
+	var sortPositions []int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := lint.CalleeObj(pass.Info, call); obj != nil && isSortCall(obj) {
+			sortPositions = append(sortPositions, int(call.Pos()))
+		}
+		return true
+	})
+	sortedAfter := func(pos int) bool {
+		for _, p := range sortPositions {
+			if p > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if node.Key == nil && node.Value == nil {
+				return true // pure counting: order cannot leak
+			}
+			if !sortedAfter(int(node.Pos())) {
+				pass.Reportf(node.Pos(), "map iteration order is nondeterministic: collect and sort afterwards, or annotate with //lint:ignore determinism <reason>")
+			}
+		case *ast.CallExpr:
+			obj := lint.CalleeObj(pass.Info, node)
+			if obj != nil && lint.IsPkgFunc(obj, "time", "Now") && !wallTimeOK {
+				pass.Reportf(node.Pos(), "time.Now outside a Stats wall-time recorder: wall clock must not influence results or counters")
+			}
+		}
+		return true
+	})
+}
+
+// recordsStatsDuration reports whether fd assigns to a time.Duration
+// field of a *Stats-named struct — the sanctioned wall-time pattern
+// (st.Precompute = time.Since(start)).
+func recordsStatsDuration(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				continue
+			}
+			recv := lint.Named(selection.Recv())
+			if recv == nil || !strings.HasSuffix(recv.Obj().Name(), "Stats") {
+				continue
+			}
+			if lint.IsNamed(selection.Obj().Type(), "time", "Duration") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"trajmotif/tools/internal/analysis/analysistest"
+	"trajmotif/tools/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata", "core", "util")
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats carries the allowlisted wall-time fields.
+type Stats struct {
+	Precompute time.Duration
+	Search     time.Duration
+}
+
+// The seeded violation: map order escapes into the result.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Collect-then-sort is the sanctioned shape.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A bare `for range` binds nothing, so order cannot leak.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Wall time may only flow into a Stats duration field.
+func timed(st *Stats, m []int) int {
+	start := time.Now()
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	st.Search = time.Since(start)
+	return total
+}
+
+// time.Now anywhere else is flagged.
+func naked() int64 {
+	return time.Now().UnixNano() // want `time\.Now outside a Stats wall-time recorder`
+}
+
+// Order-independent folds may be annotated instead of restructured.
+func escape(m map[string]int) int {
+	total := 0
+	//lint:ignore determinism summing is commutative; order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

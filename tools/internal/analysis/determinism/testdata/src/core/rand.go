@@ -1,0 +1,3 @@
+package core
+
+import _ "math/rand" // want `import of math/rand: result-producing packages must be deterministic`

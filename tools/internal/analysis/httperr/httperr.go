@@ -1,0 +1,79 @@
+// Package httperr keeps HTTP error policy centralized in internal/serve:
+// handlers must reply through the shared writeError/writeJSON helpers, so
+// the 400/413/429 status policy, error envelope shape, and metrics
+// accounting live in one place. Flagged in packages named serve:
+//
+//   - http.Error and http.NotFound calls;
+//   - WriteHeader with a constant status >= 400 (a naked error reply).
+//
+// WriteHeader with a variable, or with 2xx/3xx constants, is fine — the
+// helpers themselves and streaming success paths need those.
+//
+// Escape hatch: //lint:ignore httperr <reason>.
+package httperr
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "httperr",
+	Doc:  "serve handlers must reply through the shared error helpers, not bare http.Error/WriteHeader(>=400)",
+	Run:  run,
+}
+
+// helperNames are the shared reply helpers whose bodies are allowed to
+// touch the raw response writer.
+var helperNames = map[string]bool{"writeError": true, "writeJSON": true}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "serve" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || helperNames[fd.Name.Name] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := lint.CalleeObj(pass.Info, call)
+		if obj == nil {
+			return true
+		}
+		if lint.IsPkgFunc(obj, "http", "Error") || lint.IsPkgFunc(obj, "http", "NotFound") {
+			pass.Reportf(call.Pos(), "bare http.%s: reply through writeError so status policy and the error envelope stay centralized", obj.Name())
+			return true
+		}
+		if obj.Name() == "WriteHeader" && len(call.Args) == 1 {
+			if code, ok := constStatus(pass, call.Args[0]); ok && code >= 400 {
+				pass.Reportf(call.Pos(), "WriteHeader(%d) outside the shared helpers: error replies must go through writeError", code)
+			}
+		}
+		return true
+	})
+}
+
+// constStatus extracts a compile-time integer status code from an
+// expression, when it has one.
+func constStatus(pass *lint.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

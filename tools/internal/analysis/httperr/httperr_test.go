@@ -1,0 +1,12 @@
+package httperr_test
+
+import (
+	"testing"
+
+	"trajmotif/tools/internal/analysis/analysistest"
+	"trajmotif/tools/internal/analysis/httperr"
+)
+
+func TestHTTPErr(t *testing.T) {
+	analysistest.Run(t, httperr.Analyzer, "testdata", "serve", "other")
+}

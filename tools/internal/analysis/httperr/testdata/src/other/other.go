@@ -1,0 +1,8 @@
+// Package other is not a serve package; the policy does not apply.
+package other
+
+import "net/http"
+
+func Reply(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "fine here", http.StatusTeapot)
+}

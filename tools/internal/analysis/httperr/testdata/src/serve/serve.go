@@ -1,0 +1,51 @@
+package serve
+
+import "net/http"
+
+type errorResponse struct{ Error string }
+
+// The shared helpers themselves may touch the raw writer.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// Handlers replying through the helpers are the sanctioned shape.
+func good(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// The seeded violations: policy scattered outside the helpers.
+func bareError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `bare http\.Error: reply through writeError`
+}
+
+func bareNotFound(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want `bare http\.NotFound: reply through writeError`
+}
+
+func nakedLiteral(w http.ResponseWriter) {
+	w.WriteHeader(500) // want `WriteHeader\(500\) outside the shared helpers`
+}
+
+func nakedConst(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\) outside the shared helpers`
+}
+
+// Variables and success statuses are fine — streaming paths need them.
+func variableStatus(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// The escape hatch.
+func escaped(w http.ResponseWriter) {
+	//lint:ignore httperr raw proxying path mirrors the upstream status
+	w.WriteHeader(http.StatusGatewayTimeout)
+}

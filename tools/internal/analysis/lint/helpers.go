@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeObj resolves the object a call expression invokes — a function,
+// method, or builtin — or nil when the callee is not a named object
+// (a function literal, a conversion, an indexed function value).
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Fn.
+		return info.Uses[fn.Sel]
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// Named unwraps pointers and aliases down to a named type, or nil.
+func Named(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (through pointers/aliases) is the named type
+// typeName defined in a package whose *name* is pkgName. Matching by
+// package name rather than import path lets fixture packages in testdata
+// stand in for the real internal/geo, internal/core, etc.
+func IsNamed(t types.Type, pkgName, typeName string) bool {
+	n := Named(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}
+
+// IsPkgFunc reports whether obj is the package-level function pkgName.funcName,
+// again matching the defining package by name, not path.
+func IsPkgFunc(obj types.Object, pkgName, funcName string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Name() == pkgName && fn.Name() == funcName
+}
+
+// RootIdent returns the leftmost identifier of a selector chain
+// (s.mu.Lock -> s; s.mu -> s; x -> x), or nil for non-ident roots.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExportedFields returns the exported field objects of a struct type, in
+// declaration order.
+func ExportedFields(s *types.Struct) []*types.Var {
+	var out []*types.Var
+	for i := 0; i < s.NumFields(); i++ {
+		if f := s.Field(i); f.Exported() && !f.Embedded() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// StructOf returns the struct underlying t (through pointers/aliases/named),
+// or nil.
+func StructOf(t types.Type) *types.Struct {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		t = n.Underlying()
+	}
+	s, _ := t.(*types.Struct)
+	return s
+}

@@ -1,0 +1,194 @@
+// Package lint is a deliberately small, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework. The build environment for this
+// repository is fully offline (the module cache carries no third-party
+// modules), so motiflint's analyzers are written against this package
+// instead: the same Analyzer/Pass/Diagnostic shape, a `go list`-backed
+// loader (see load.go), and a `//lint:ignore <analyzer> <reason>`
+// suppression directive compatible with staticcheck's.
+//
+// The API is intentionally a subset — enough to express motiflint's five
+// invariant checks and their fixture tests — so that a future migration to
+// the real x/tools framework is a mechanical rename.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one application of an analyzer to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies one analyzer to one loaded package and returns its findings
+// after //lint:ignore suppression, sorted by position. Malformed ignore
+// directives are themselves reported (analyzer name "motiflint") so a typo
+// cannot silently disable a check.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	dirs, bad := ignoreDirectives(pkg)
+	out := make([]Diagnostic, 0, len(pass.diags))
+	for _, d := range pass.diags {
+		if !suppressed(dirs, a.Name, d.Pos) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, bad...)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunAll applies every analyzer to every package, deduplicating the
+// malformed-directive diagnostics that Run emits per analyzer.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := Run(a, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", pkg.Path, err)
+			}
+			for _, d := range diags {
+				key := d.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses the
+// named analyzers on its own source line (trailing comment) and on the
+// line immediately below it (comment-above style).
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirectives scans every comment in the package for
+// //lint:ignore directives. A directive must name at least one analyzer
+// (comma-separated) and give a non-empty reason; anything else is
+// reported as a diagnostic rather than silently dropped.
+func ignoreDirectives(pkg *Package) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+						Analyzer: "motiflint",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+func suppressed(dirs []ignoreDirective, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.file != pos.Filename {
+			continue
+		}
+		if pos.Line != d.line && pos.Line != d.line+1 {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

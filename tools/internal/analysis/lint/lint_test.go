@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// TestIgnoreDirectives exercises the suppression machinery directly:
+// comment-above and trailing //lint:ignore forms suppress, a directive
+// without a reason is itself a diagnostic, and unrelated lines still
+// report.
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	a := 1
+	//lint:ignore dummy externally synchronized
+	b := 2
+	//lint:ignore dummy
+	c := 3
+	d := 4 //lint:ignore dummy trailing form
+	_, _, _, _ = a, b, c, d
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dummy := &Analyzer{
+		Name: "dummy",
+		Doc:  "reports every short variable declaration",
+		Run: func(p *Pass) error {
+			ast.Inspect(p.Files[0], func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					p.Reportf(as.Pos(), "assignment")
+				}
+				return true
+			})
+			return nil
+		},
+	}
+	diags, err := Run(dummy, &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		line     int
+		analyzer string
+	}
+	wants := []want{
+		{4, "dummy"},     // no directive
+		{7, "motiflint"}, // malformed: reason missing
+		{8, "dummy"},     // the malformed directive must not suppress
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(wants))
+	}
+	for i, w := range wants {
+		if diags[i].Pos.Line != w.line || diags[i].Analyzer != w.analyzer {
+			t.Errorf("diag %d = %s at line %d (%s), want line %d (%s)",
+				i, diags[i].Message, diags[i].Pos.Line, diags[i].Analyzer, w.line, w.analyzer)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package lockcheck enforces the repo's mutex discipline for *Locked
+// methods (internal/store is the main client):
+//
+//  1. a method named *Locked must not lock or unlock its own receiver's
+//     mutex — the name is a contract that the caller already holds it;
+//  2. a call to a *Locked method must happen either inside another
+//     *Locked method of the same type, or in a function that has already
+//     acquired the receiver's mutex (a lexically earlier x.mu.Lock() /
+//     RLock() on the same receiver variable).
+//
+// The caller-side check is lexical, not a true dominance analysis: an
+// acquire anywhere earlier in the same enclosing function (closures
+// included) satisfies it. That is deliberate — it matches how the store
+// is written (lock windows with defer-unlock) and keeps the checker
+// dependency-free; the escape hatch for exotic control flow is
+// //lint:ignore lockcheck <reason>.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "*Locked methods must be called with the receiver's mutex held and must not lock it themselves",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isMutexOp reports whether obj is (sync.Mutex).Lock/Unlock or
+// (sync.RWMutex).[R]Lock/[R]Unlock.
+func isMutexOp(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := lint.Named(sig.Recv().Type())
+	return n != nil && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+func isAcquire(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && isMutexOp(obj) && (fn.Name() == "Lock" || fn.Name() == "RLock")
+}
+
+// hasMutexField reports whether the named type's underlying struct carries
+// a sync.Mutex or sync.RWMutex field (named or embedded).
+func hasMutexField(n *types.Named) bool {
+	s := lint.StructOf(n)
+	if s == nil {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		fn := lint.Named(s.Field(i).Type())
+		if fn != nil && fn.Obj().Pkg() != nil && fn.Obj().Pkg().Path() == "sync" &&
+			(fn.Obj().Name() == "Mutex" || fn.Obj().Name() == "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedMethodOf returns the defining named type when obj is a *Locked
+// method on a mutex-bearing type, else nil.
+func lockedMethodOf(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok || !strings.HasSuffix(fn.Name(), "Locked") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	n := lint.Named(sig.Recv().Type())
+	if n == nil || !hasMutexField(n) {
+		return nil
+	}
+	return n
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	// Is fd itself a *Locked method? Then its body runs under the lock:
+	// calls to sibling *Locked methods are fine, but touching the
+	// receiver's mutex is a deadlock (Lock) or a protocol break (Unlock).
+	var selfType *types.Named
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if def := pass.Info.Defs[fd.Name]; def != nil {
+			selfType = lockedMethodOf(def)
+		}
+		if names := fd.Recv.List[0].Names; len(names) == 1 {
+			recvObj = pass.Info.Defs[names[0]]
+		}
+	}
+
+	// acquires collects, in source order, the variables whose mutex was
+	// locked lexically before each position: rootObj -> earliest Lock pos.
+	type acquire struct {
+		obj types.Object
+		pos int
+	}
+	var acquires []acquire
+	holds := func(obj types.Object, before int) bool {
+		for _, a := range acquires {
+			if a.obj == obj && a.pos < before {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := lint.CalleeObj(pass.Info, call)
+		if obj == nil {
+			return true
+		}
+
+		if isMutexOp(obj) {
+			root := lint.RootIdent(call.Fun)
+			if root == nil {
+				return true
+			}
+			rootObj := pass.Info.Uses[root]
+			if selfType != nil && recvObj != nil && rootObj == recvObj {
+				pass.Reportf(call.Pos(), "%s calls %s.%s.%s: *Locked methods run with the receiver's mutex already held",
+					fd.Name.Name, root.Name, mutexFieldName(call.Fun), obj.Name())
+				return true
+			}
+			if isAcquire(obj) && rootObj != nil {
+				acquires = append(acquires, acquire{obj: rootObj, pos: int(call.Pos())})
+			}
+			return true
+		}
+
+		target := lockedMethodOf(obj)
+		if target == nil {
+			return true
+		}
+		// Rule 2a: calls between *Locked methods of the same type are
+		// lock-neutral.
+		if selfType != nil && selfType.Obj() == target.Obj() {
+			return true
+		}
+		// Rule 2b: the receiver variable's mutex must have been acquired
+		// lexically earlier in this function.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := lint.RootIdent(sel.X)
+		if root == nil {
+			pass.Reportf(call.Pos(), "call to %s on a non-variable receiver: cannot verify the mutex is held", obj.Name())
+			return true
+		}
+		rootObj := pass.Info.Uses[root]
+		if rootObj == nil || !holds(rootObj, int(call.Pos())) {
+			pass.Reportf(call.Pos(), "call to %s without %s.mu held: acquire the lock first or call from another *Locked method",
+				obj.Name(), root.Name)
+		}
+		return true
+	})
+}
+
+// mutexFieldName extracts the mutex field's name from a call fun like
+// s.mu.Lock for the diagnostic message; best-effort.
+func mutexFieldName(fun ast.Expr) string {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return "mu"
+	}
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		return inner.Sel.Name
+	}
+	return "mu"
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"trajmotif/tools/internal/analysis/analysistest"
+	"trajmotif/tools/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata", "a")
+}

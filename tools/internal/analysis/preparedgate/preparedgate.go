@@ -1,0 +1,213 @@
+// Package preparedgate enforces the exactness gate on the prepared and
+// projected fast paths. geo.HaversinePrepared is only bit-identical to
+// the ground distance when that distance IS the haversine, and the
+// projected planar kernels are only certified when the Frame's error
+// band is valid — so every call into those paths must be dominated by a
+// geo.IsHaversine(df) or Frame.OK() check.
+//
+// Targets (flagged when un-gated):
+//   - geo.HaversinePrepared;
+//   - geo.Frame's planar methods Project / ProjectAll / Thresholds;
+//   - any non-geo function with a parameter involving geo.PreparedPoint,
+//     geo.Projected, or geo.Frame;
+//   - any non-geo function whose name contains "prepared"/"projected".
+//
+// A function is a carrier — its body is exempt — when the gated types
+// already arrived through its own receiver/parameters, or its name (or
+// receiver type name) contains "prepared"/"projected": the gate was the
+// caller's job, and the caller's call site is checked instead. The gate
+// check is lexical within the enclosing top-level function (closures
+// included), matching how every kernel in the tree is written.
+//
+// Escape hatch: //lint:ignore preparedgate <reason>.
+package preparedgate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "preparedgate",
+	Doc:  "prepared/projected fast paths must be dominated by IsHaversine / Frame.OK gates",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "geo" {
+		return nil // the gate's own implementation package
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// specialType reports whether t is one of the gated geo types.
+func specialType(t types.Type) bool {
+	return lint.IsNamed(t, "geo", "PreparedPoint") ||
+		lint.IsNamed(t, "geo", "Projected") ||
+		lint.IsNamed(t, "geo", "Frame")
+}
+
+// involves reports whether t contains a gated geo type, looking through
+// containers and (to a shallow depth) struct fields.
+func involves(t types.Type, depth int) bool {
+	if t == nil || depth < 0 {
+		return false
+	}
+	if specialType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return involves(u.Elem(), depth)
+	case *types.Slice:
+		return involves(u.Elem(), depth)
+	case *types.Array:
+		return involves(u.Elem(), depth)
+	case *types.Map:
+		return involves(u.Key(), depth) || involves(u.Elem(), depth)
+	case *types.Chan:
+		return involves(u.Elem(), depth)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if involves(u.Field(i).Type(), depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func nameSaysFast(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "prepared") || strings.Contains(l, "projected")
+}
+
+// isCarrier reports whether fd's own signature already carries the gated
+// types (or advertises the fast path in its name), making its body the
+// callee side of the contract.
+func isCarrier(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	if nameSaysFast(fd.Name.Name) {
+		return true
+	}
+	var fields []*ast.Field
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, f := range fields {
+		t := pass.Info.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if involves(t, 2) {
+			return true
+		}
+		if n := lint.Named(t); n != nil && nameSaysFast(n.Obj().Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isGate reports whether obj is geo.IsHaversine or (geo.Frame).OK.
+func isGate(obj types.Object) bool {
+	if lint.IsPkgFunc(obj, "geo", "IsHaversine") {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "OK" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return lint.IsNamed(sig.Recv().Type(), "geo", "Frame")
+}
+
+// isTarget reports whether calling obj enters a gated fast path, and a
+// short label for the diagnostic.
+func isTarget(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if isGate(obj) {
+		return "", false
+	}
+	inGeo := fn.Pkg().Name() == "geo"
+	if inGeo && fn.Name() == "HaversinePrepared" {
+		return "geo.HaversinePrepared", true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	// geo.Frame's planar methods.
+	if inGeo && sig.Recv() != nil && lint.IsNamed(sig.Recv().Type(), "geo", "Frame") {
+		switch fn.Name() {
+		case "Project", "ProjectAll", "Thresholds":
+			return "Frame." + fn.Name(), true
+		}
+		return "", false
+	}
+	if inGeo {
+		return "", false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if involves(sig.Params().At(i).Type(), 2) {
+			return fn.Name(), true
+		}
+	}
+	if nameSaysFast(fn.Name()) {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	if isCarrier(pass, fd) {
+		return
+	}
+	var gates []int
+	gatedBefore := func(pos int) bool {
+		for _, g := range gates {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := lint.CalleeObj(pass.Info, call)
+		if obj == nil {
+			return true
+		}
+		if isGate(obj) {
+			gates = append(gates, int(call.Pos()))
+			return true
+		}
+		if label, ok := isTarget(obj); ok && !gatedBefore(int(call.Pos())) {
+			pass.Reportf(call.Pos(), "call to %s without a preceding geo.IsHaversine / Frame.OK gate: the fast path is only exact under the gate", label)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package preparedgate_test
+
+import (
+	"testing"
+
+	"trajmotif/tools/internal/analysis/analysistest"
+	"trajmotif/tools/internal/analysis/preparedgate"
+)
+
+func TestPreparedgate(t *testing.T) {
+	analysistest.Run(t, preparedgate.Analyzer, "testdata", "geo", "a")
+}

@@ -1,0 +1,89 @@
+package a
+
+import "geo"
+
+// The seeded violation: the prepared kernel without the exactness gate.
+func ungated(p, q geo.Point) float64 {
+	return geo.HaversinePrepared(p, q, 1, 1) // want `call to geo\.HaversinePrepared without a preceding geo\.IsHaversine / Frame\.OK gate`
+}
+
+// An IsHaversine check lexically before the call satisfies the gate.
+func gated(df geo.DistanceFunc, p, q geo.Point) float64 {
+	if geo.IsHaversine(df) {
+		return geo.HaversinePrepared(p, q, 1, 1)
+	}
+	return df(p, q)
+}
+
+// lowerBound is a carrier: the prepared points arrived through its own
+// parameters, so the gate was its caller's job and its body is exempt.
+func lowerBound(ps []geo.PreparedPoint, q geo.Point) float64 {
+	best := 0.0
+	for _, pp := range ps {
+		if d := geo.HaversinePrepared(pp.P, q, pp.CosLat, 1); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func prepareAll(pts []geo.Point) []geo.PreparedPoint {
+	out := make([]geo.PreparedPoint, len(pts))
+	for i, p := range pts {
+		out[i] = geo.PreparedPoint{P: p, CosLat: 1}
+	}
+	return out
+}
+
+// ...and the carrier's call sites are themselves gated targets.
+func callCarrierUngated(pts []geo.Point, q geo.Point) float64 {
+	ps := prepareAll(pts)
+	return lowerBound(ps, q) // want `call to lowerBound without a preceding geo\.IsHaversine / Frame\.OK gate`
+}
+
+func callCarrierGated(df geo.DistanceFunc, pts []geo.Point, q geo.Point) float64 {
+	if !geo.IsHaversine(df) {
+		return 0
+	}
+	ps := prepareAll(pts)
+	return lowerBound(ps, q)
+}
+
+// Frame planar methods need the frame-validity gate.
+func decideUngated(minLat, maxLat, minLng, maxLng float64, p geo.Point) geo.Projected {
+	f := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+	return f.Project(p) // want `call to Frame\.Project without a preceding geo\.IsHaversine / Frame\.OK gate`
+}
+
+func decideGated(minLat, maxLat, minLng, maxLng float64, p geo.Point) geo.Projected {
+	f := geo.FrameFor(minLat, maxLat, minLng, maxLng)
+	if !f.OK() {
+		return geo.Projected{}
+	}
+	return f.Project(p)
+}
+
+// Functions advertising the fast path in their name are targets too,
+// even without gated parameter types...
+func rowProjected(n int) float64 { return float64(n) }
+
+func useNameUngated(n int) float64 {
+	return rowProjected(n) // want `call to rowProjected without a preceding geo\.IsHaversine / Frame\.OK gate`
+}
+
+// ...and, symmetrically, a *Prepared/*Projected name marks the enclosing
+// function as a carrier, exempting its body.
+func sumProjected(pts []geo.Point) float64 {
+	total := 0.0
+	for _, p := range pts {
+		total += geo.HaversinePrepared(p, p, 1, 1)
+	}
+	return total
+}
+
+// The escape hatch, for gates the analyzer cannot see (e.g. enforced by
+// a constructor).
+func escaped(p, q geo.Point) float64 {
+	//lint:ignore preparedgate the caller pinned the metric to haversine at construction
+	return geo.HaversinePrepared(p, q, 1, 1)
+}

@@ -1,0 +1,305 @@
+// Package statsmerge enforces that effort-counter structs stay exhaustive
+// end to end. Two checks:
+//
+//  1. merge functions — a func/method whose name starts with merge/Merge/
+//     fold/Fold and whose receiver or a parameter is a *Stats-named struct
+//     must mention every exported field of that struct, or list the
+//     intentionally unmerged ones in a
+//     //statsmerge:exempt Field1 Field2 -- <reason>
+//     directive on the function. A per-worker counter added to core.Stats
+//     but forgotten in mergeEffort silently breaks worker-count
+//     determinism; this check turns that into a lint failure. Exempt
+//     names are validated against the struct, so a renamed field cannot
+//     leave a stale exemption behind.
+//
+//  2. renderers — in a package named serve, a function that reads one
+//     field of a *Stats struct from core/store/join/knn/batch must read
+//     them all (or consume the whole struct value, e.g. embed it in a
+//     response literal). This keeps /stats and /metrics exhaustive when a
+//     counter is added.
+package statsmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"trajmotif/tools/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "statsmerge",
+	Doc:  "Stats merge functions and serve renderers must cover every exported counter field",
+	Run:  run,
+}
+
+// statsPackages are the package names whose *Stats structs the renderer
+// check tracks.
+var statsPackages = map[string]bool{
+	"core": true, "store": true, "join": true, "knn": true, "batch": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMergeFunc(pass, file, fd)
+			if pass.Pkg.Name() == "serve" {
+				checkRenderer(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// statsStruct returns the named *Stats struct a merge function operates
+// on: the receiver if it qualifies, else the first qualifying parameter.
+func statsStruct(pass *lint.Pass, fd *ast.FuncDecl) *types.Named {
+	var cands []*ast.Field
+	if fd.Recv != nil {
+		cands = append(cands, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		cands = append(cands, fd.Type.Params.List...)
+	}
+	for _, f := range cands {
+		t := pass.Info.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		n := lint.Named(t)
+		if n == nil || !strings.HasSuffix(n.Obj().Name(), "Stats") {
+			continue
+		}
+		if lint.StructOf(n) != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func isMergeName(name string) bool {
+	for _, p := range []string{"merge", "Merge", "fold", "Fold"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkMergeFunc(pass *lint.Pass, file *ast.File, fd *ast.FuncDecl) {
+	if !isMergeName(fd.Name.Name) {
+		return
+	}
+	n := statsStruct(pass, fd)
+	if n == nil {
+		return
+	}
+	s := lint.StructOf(n)
+	fields := lint.ExportedFields(s)
+	if len(fields) == 0 {
+		return
+	}
+
+	exempt := exemptFields(pass, file, fd)
+	// Validate exempt names against the struct so renames can't strand a
+	// stale exemption.
+	known := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		known[f.Name()] = true
+	}
+	for name, pos := range exempt {
+		if !known[name] {
+			pass.Reportf(pos, "//statsmerge:exempt names %s, which is not an exported field of %s.%s",
+				name, n.Obj().Pkg().Name(), n.Obj().Name())
+		}
+	}
+
+	referenced := fieldRefs(pass, fd.Body, fields)
+	var missing []string
+	for _, f := range fields {
+		if _, ok := exempt[f.Name()]; ok {
+			continue
+		}
+		if !referenced[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(fd.Name.Pos(), "%s does not merge %s.%s field(s) %s: fold them or list them in a //statsmerge:exempt directive",
+			fd.Name.Name, n.Obj().Pkg().Name(), n.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// exemptFields parses //statsmerge:exempt directives attached to fd (doc
+// comment or any comment inside its body) into field name -> position.
+// A directive must end with `-- <reason>`; one without a reason is
+// reported and ignored.
+func exemptFields(pass *lint.Pass, file *ast.File, fd *ast.FuncDecl) map[string]token.Pos {
+	const prefix = "//statsmerge:exempt"
+	out := make(map[string]token.Pos)
+	scan := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, prefix)
+			names, reason, found := strings.Cut(rest, "--")
+			if !found || strings.TrimSpace(reason) == "" {
+				pass.Reportf(c.Pos(), "//statsmerge:exempt directive needs a reason: //statsmerge:exempt Field... -- <why>")
+				continue
+			}
+			for _, name := range strings.Fields(names) {
+				out[name] = c.Pos()
+			}
+		}
+	}
+	scan(fd.Doc)
+	for _, cg := range file.Comments {
+		if cg.Pos() >= fd.Pos() && cg.End() <= fd.End() {
+			scan(cg)
+		}
+	}
+	return out
+}
+
+// fieldRefs reports which of fields are mentioned (selector or composite
+// literal key) anywhere under node.
+func fieldRefs(pass *lint.Pass, node ast.Node, fields []*types.Var) map[string]bool {
+	want := make(map[types.Object]string, len(fields))
+	for _, f := range fields {
+		want[f] = f.Name()
+	}
+	out := make(map[string]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if name, ok := want[pass.Info.Uses[id]]; ok {
+			out[name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkRenderer enforces read-one-read-all for tracked Stats structs.
+func checkRenderer(pass *lint.Pass, fd *ast.FuncDecl) {
+	type usage struct {
+		refs  map[string]bool
+		whole bool
+	}
+	used := make(map[*types.Named]*usage)
+	get := func(n *types.Named) *usage {
+		u := used[n]
+		if u == nil {
+			u = &usage{refs: make(map[string]bool)}
+			used[n] = u
+		}
+		return u
+	}
+	tracked := func(t types.Type) *types.Named {
+		n := lint.Named(t)
+		if n == nil || n.Obj().Pkg() == nil {
+			return nil
+		}
+		if !statsPackages[n.Obj().Pkg().Name()] || !strings.HasSuffix(n.Obj().Name(), "Stats") {
+			return nil
+		}
+		if lint.StructOf(n) == nil {
+			return nil
+		}
+		return n
+	}
+	// wholeUse marks expressions whose full value flows onward — into a
+	// composite literal, a call argument, or the right side of an
+	// assignment/return. Call results are excluded: `st := x.Stats()`
+	// produces the value, it does not consume it.
+	wholeUse := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if _, isCall := e.(*ast.CallExpr); isCall {
+			return
+		}
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return
+		}
+		if n := tracked(tv.Type); n != nil {
+			get(n).whole = true
+		}
+	}
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if named := tracked(sel.Recv()); named != nil {
+					get(named).refs[n.Sel.Name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					wholeUse(kv.Value)
+				} else {
+					wholeUse(elt)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				wholeUse(arg)
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				wholeUse(r)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				wholeUse(r)
+			}
+		}
+		return true
+	})
+
+	type finding struct {
+		named   *types.Named
+		missing []string
+	}
+	var findings []finding
+	for n, u := range used {
+		if u.whole || len(u.refs) == 0 {
+			continue
+		}
+		var missing []string
+		for _, f := range lint.ExportedFields(lint.StructOf(n)) {
+			if !u.refs[f.Name()] {
+				missing = append(missing, f.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			findings = append(findings, finding{n, missing})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].named.Obj().Pkg().Name()+findings[i].named.Obj().Name() <
+			findings[j].named.Obj().Pkg().Name()+findings[j].named.Obj().Name()
+	})
+	for _, f := range findings {
+		pass.Reportf(fd.Name.Pos(), "%s renders %s.%s but omits field(s) %s: render every exported counter or pass the whole struct",
+			fd.Name.Name, f.named.Obj().Pkg().Name(), f.named.Obj().Name(), strings.Join(f.missing, ", "))
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// Stats mimics the repo's effort-counter structs: the merge check keys on
+// the *Stats name suffix and covers only exported fields.
+type Stats struct {
+	A      int64
+	B      int64
+	hidden int64
+}
+
+// Complete fold: every exported field appears.
+func (st *Stats) mergeAll(o *Stats) {
+	st.A += o.A
+	st.B += o.B
+	st.hidden += o.hidden
+}
+
+// The seeded violation: a field missing from the fold.
+func (st *Stats) mergeSome(o *Stats) { // want `mergeSome does not merge core\.Stats field\(s\) B`
+	st.A += o.A
+}
+
+// An exempt directive with a reason documents coordinator-owned fields.
+//
+//statsmerge:exempt B -- owned by the coordinator, set once per search
+func (st *Stats) mergeExempt(o *Stats) {
+	st.A += o.A
+}
+
+// Exempt names are validated, so renames cannot strand a stale directive.
+//
+//statsmerge:exempt Bogus -- stale name // want `names Bogus, which is not an exported field of core\.Stats`
+func (st *Stats) mergeBogus(o *Stats) {
+	st.A += o.A
+	st.B += o.B
+}
+
+// A directive without a reason is rejected and does not exempt anything.
+//
+//statsmerge:exempt B // want `directive needs a reason`
+func (st *Stats) mergeNoReason(o *Stats) { // want `mergeNoReason does not merge core\.Stats field\(s\) B`
+	st.A += o.A
+}
+
+// The generic escape hatch works on merge functions too.
+//
+//lint:ignore statsmerge partial fold is intentional in this fixture
+func (st *Stats) mergePartial(o *Stats) {
+	st.A += o.A
+}
+
+// Merge-named functions not touching a Stats struct are out of scope.
+func mergeInts(a, b []int) []int {
+	return append(a, b...)
+}

@@ -1,0 +1,42 @@
+package serve
+
+import "core"
+
+// Reading every exported field satisfies the renderer check.
+func renderAll(st core.Stats) map[string]int64 {
+	return map[string]int64{"a": st.A, "b": st.B}
+}
+
+// The seeded violation: a renderer that silently drops a counter.
+func renderSome(st core.Stats) int64 { // want `renderSome renders core\.Stats but omits field\(s\) B`
+	return st.A
+}
+
+type payload struct {
+	S core.Stats
+}
+
+// Passing the whole struct onward delegates the exhaustiveness duty to
+// the consumer (e.g. embedding the struct in a JSON response).
+func wrap(st core.Stats) payload {
+	if st.A > 0 {
+		return payload{S: st}
+	}
+	return payload{S: st}
+}
+
+func produce() core.Stats { return core.Stats{} }
+
+// A call RESULT is production, not consumption: binding it does not
+// count as a whole-struct use, so partial reads are still caught.
+func consume() int64 { // want `consume renders core\.Stats but omits field\(s\) B`
+	st := produce()
+	return st.A
+}
+
+// The escape hatch, for renderers that are intentionally partial.
+//
+//lint:ignore statsmerge this view is intentionally a summary
+func summary(st core.Stats) int64 {
+	return st.A
+}

@@ -1,0 +1,7 @@
+# Pinned external linter versions, kept in the tools/ module so every
+# environment — dev machine and CI alike — runs identical binaries.
+# Bump deliberately, never implicitly via @latest.
+STATICCHECK_PKG     := honnef.co/go/tools/cmd/staticcheck
+STATICCHECK_VERSION := v0.6.1
+GOVULNCHECK_PKG     := golang.org/x/vuln/cmd/govulncheck
+GOVULNCHECK_VERSION := v1.1.4
