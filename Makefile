@@ -12,7 +12,7 @@ include tools/versions.mk
 LINT_EXTERNAL ?= auto
 TOOLSBIN := $(CURDIR)/tools/bin
 
-.PHONY: build test bench bench-smoke fmt fmt-check vet race fuzz serve-smoke load-smoke cover profile lint motiflint tools-test lint-external
+.PHONY: build test bench bench-smoke fmt fmt-check vet race fuzz serve-smoke restart-smoke load-smoke cover profile lint motiflint tools-test lint-external
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ cover:
 # identical /discover request rebuilds zero grids.
 serve-smoke:
 	$(GO) test -run '^TestServeSmokeBinary$$' -count=1 -v ./cmd/motifserve
+
+# End-to-end restart drill: run motifserve with -artifact-dir and
+# -snapshot-on-shutdown (sharded), upload + discover, SIGTERM, restart
+# against the same directory, and assert the warm process answers the
+# same discover from the disk tier — registry restored, zero grids
+# rebuilt, diskReads > 0 on /stats.
+restart-smoke:
+	$(GO) test -run '^TestRestartSmokeBinary$$' -count=1 -v ./cmd/motifserve
 
 # End-to-end load smoke: build the motifload binary and replay a mixed
 # concurrent read/write workload against a self-hosted capped server.

@@ -8,6 +8,7 @@
 //	motifserve -addr :8080
 //	motifserve -addr 127.0.0.1:0 -cache-bytes 1073741824 -workers 4
 //	motifserve -max-trajectories 10000 -traj-ttl 1h -max-concurrent 8
+//	motifserve -artifact-dir /var/lib/motifserve -snapshot-on-shutdown -shards 4
 //
 // Endpoints (all JSON; see the README's "Serve mode" section):
 //
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -46,7 +48,10 @@ func main() {
 	trajTTL := flag.Duration("traj-ttl", 0, "idle trajectory lifetime; expired entries are evicted on the next registry access (0 = no expiry)")
 	maxConc := flag.Int("max-concurrent", 0, "global cap on in-flight search workers; 0 = GOMAXPROCS, negative disables admission control")
 	maxQueued := flag.Int("max-queued", 0, "search requests allowed to wait for admission; 0 = 4x capacity (floor 16), negative disables queueing")
-	queueWait := flag.Duration("queue-wait", 0, "longest a queued search waits before 429; 0 = 5s default")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued search waits before 429; 0 = 5s default, negative rejects immediately when no slot is free")
+	artifactDir := flag.String("artifact-dir", "", "directory for the persistent artifact tier; evicted grids spill to disk and warm restarts promote them back (empty disables)")
+	snapshotOnShutdown := flag.Bool("snapshot-on-shutdown", false, "write the trajectory registry to <artifact-dir>/registry.snap on graceful shutdown and restore it at boot (requires -artifact-dir)")
+	shards := flag.Int("shards", 1, "in-process store shards; trajectories hash-partition across them and results stay byte-identical to 1 shard")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout (covers large bulk uploads)")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout (covers cold full-corpus joins)")
@@ -54,12 +59,62 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	flag.Parse()
 
-	st := trajmotif.NewStore(&trajmotif.StoreOptions{
+	// Fail fast on an unusable artifact directory: the store itself
+	// degrades gracefully (counting diskErrors), but an operator who
+	// asked for persistence wants a hard error at boot, not silent
+	// RAM-only serving.
+	if *artifactDir != "" {
+		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "motifserve: -artifact-dir: %v\n", err)
+			os.Exit(1)
+		}
+		probe, err := os.CreateTemp(*artifactDir, ".probe-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifserve: -artifact-dir not writable: %v\n", err)
+			os.Exit(1)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	if *snapshotOnShutdown && *artifactDir == "" {
+		fmt.Fprintln(os.Stderr, "motifserve: -snapshot-on-shutdown requires -artifact-dir")
+		os.Exit(1)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "motifserve: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(1)
+	}
+
+	stOpt := &trajmotif.StoreOptions{
 		CacheBytes:      *cacheBytes,
 		MaxTrajectories: *maxTraj,
 		TrajectoryTTL:   *trajTTL,
-	})
-	srv := trajmotif.NewServer(st, &trajmotif.ServerOptions{
+		ArtifactDir:     *artifactDir,
+	}
+	var backend trajmotif.ServeBackend
+	if *shards > 1 {
+		sh, err := trajmotif.NewShardedStore(*shards, stOpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifserve: %v\n", err)
+			os.Exit(1)
+		}
+		backend = sh
+	} else {
+		backend = trajmotif.NewStore(stOpt)
+	}
+
+	snapPath := ""
+	if *artifactDir != "" {
+		snapPath = filepath.Join(*artifactDir, "registry.snap")
+		if n, err := backend.(snapshotter).Restore(snapPath); err != nil {
+			fmt.Fprintf(os.Stderr, "motifserve: restore %s: %v\n", snapPath, err)
+			os.Exit(1)
+		} else if n > 0 {
+			fmt.Printf("motifserve restored %d trajectories from %s\n", n, snapPath)
+		}
+	}
+
+	srv := trajmotif.NewServerWith(backend, &trajmotif.ServerOptions{
 		Workers:               *workers,
 		MaxBodyBytes:          *maxBody,
 		MaxConcurrentSearches: *maxConc,
@@ -103,6 +158,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "motifserve: shutdown: %v\n", err)
 			os.Exit(1)
 		}
+		if *snapshotOnShutdown {
+			if n, err := backend.(snapshotter).Snapshot(snapPath); err != nil {
+				fmt.Fprintf(os.Stderr, "motifserve: snapshot %s: %v\n", snapPath, err)
+				os.Exit(1)
+			} else {
+				fmt.Printf("motifserve snapshotted %d trajectories to %s\n", n, snapPath)
+			}
+		}
 		fmt.Println("motifserve stopped")
 	}
+}
+
+// snapshotter is the registry persistence surface shared by *Store and
+// *ShardedStore (both always implement it; the assertion documents the
+// dependency rather than guarding a real failure path).
+type snapshotter interface {
+	Snapshot(path string) (int, error)
+	Restore(path string) (int, error)
 }

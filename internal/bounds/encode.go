@@ -1,0 +1,179 @@
+package bounds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for Relaxed, used by the store's disk artifact tier.
+//
+// Two properties matter beyond exact float64 round-tripping. First, the
+// unexported Params must survive, because SubsetLB/Band consult them.
+// Second, the slice aliasing NewRelaxed produces must survive: CminBand
+// aliases Cmin when the separations coincide, and slidingMax returns its
+// input for Window <= 1 (so RowBand can alias Rmin and ColBand can alias
+// CminBand). Bytes() detects aliasing by backing-array identity to avoid
+// double-counting, so a codec that always materialized five independent
+// slices would inflate the decoded table's byte accounting — and with it
+// the cache's eviction behaviour — relative to a freshly built one.
+//
+// Layout (little-endian): Window, CrossSep, BandSep, BackSep as int64;
+// one byte each for Self and UseCross; one alias-flag byte (bit 0:
+// CminBand==Cmin, bit 1: RowBand==Rmin, bit 2: ColBand==CminBand); then
+// Cmin, Rmin, and each non-aliased slice of CminBand, RowBand, ColBand
+// in that order, each as uint64 length + float64 bits.
+
+const (
+	aliasCminBand = 1 << 0
+	aliasRowBand  = 1 << 1
+	aliasColBand  = 1 << 2
+)
+
+// sameSlice reports whether two slices share one backing array — the
+// aliasing predicate Bytes() uses.
+func sameSlice(a, b []float64) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}
+
+// Marshal encodes the relaxed bound set.
+func (r *Relaxed) Marshal() []byte {
+	flags := byte(0)
+	if sameSlice(r.CminBand, r.Cmin) {
+		flags |= aliasCminBand
+	}
+	if sameSlice(r.RowBand, r.Rmin) {
+		flags |= aliasRowBand
+	}
+	if sameSlice(r.ColBand, r.CminBand) {
+		flags |= aliasColBand
+	}
+	size := 4*8 + 2 + 1
+	size += 8 + 8*len(r.Cmin)
+	size += 8 + 8*len(r.Rmin)
+	if flags&aliasCminBand == 0 {
+		size += 8 + 8*len(r.CminBand)
+	}
+	if flags&aliasRowBand == 0 {
+		size += 8 + 8*len(r.RowBand)
+	}
+	if flags&aliasColBand == 0 {
+		size += 8 + 8*len(r.ColBand)
+	}
+	out := make([]byte, 0, size)
+	putInt := func(v int) {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(v)))
+	}
+	putBool := func(v bool) {
+		if v {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	putSlice := func(vals []float64) {
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(vals)))
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	putInt(r.p.Window)
+	putInt(r.p.CrossSep)
+	putInt(r.p.BandSep)
+	putInt(r.p.BackSep)
+	putBool(r.p.Self)
+	putBool(r.p.UseCross)
+	out = append(out, flags)
+	putSlice(r.Cmin)
+	putSlice(r.Rmin)
+	if flags&aliasCminBand == 0 {
+		putSlice(r.CminBand)
+	}
+	if flags&aliasRowBand == 0 {
+		putSlice(r.RowBand)
+	}
+	if flags&aliasColBand == 0 {
+		putSlice(r.ColBand)
+	}
+	return out
+}
+
+// Unmarshal decodes a bound set produced by Marshal, restoring the
+// original slice aliasing. Any truncation or length inconsistency is an
+// error (the disk tier treats it as a torn artifact).
+func Unmarshal(data []byte) (*Relaxed, error) {
+	var decodeErr error
+	fail := func(format string, args ...any) {
+		if decodeErr == nil {
+			decodeErr = fmt.Errorf("bounds: "+format, args...)
+		}
+	}
+	takeInt := func() int {
+		if decodeErr != nil || len(data) < 8 {
+			fail("truncated header")
+			return 0
+		}
+		v := int64(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		return int(v)
+	}
+	takeByte := func() byte {
+		if decodeErr != nil || len(data) < 1 {
+			fail("truncated header")
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	takeSlice := func() []float64 {
+		n := takeInt()
+		if decodeErr != nil {
+			return nil
+		}
+		// Bound the allocation by what the buffer can actually hold.
+		if n < 0 || len(data) < 8*n {
+			fail("slice length %d exceeds remaining %d bytes", n, len(data))
+			return nil
+		}
+		vals := make([]float64, n)
+		for k := range vals {
+			vals[k] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*k:]))
+		}
+		data = data[8*n:]
+		return vals
+	}
+
+	r := &Relaxed{}
+	r.p.Window = takeInt()
+	r.p.CrossSep = takeInt()
+	r.p.BandSep = takeInt()
+	r.p.BackSep = takeInt()
+	r.p.Self = takeByte() != 0
+	r.p.UseCross = takeByte() != 0
+	flags := takeByte()
+	r.Cmin = takeSlice()
+	r.Rmin = takeSlice()
+	if flags&aliasCminBand != 0 {
+		r.CminBand = r.Cmin
+	} else {
+		r.CminBand = takeSlice()
+	}
+	if flags&aliasRowBand != 0 {
+		r.RowBand = r.Rmin
+	} else {
+		r.RowBand = takeSlice()
+	}
+	if flags&aliasColBand != 0 {
+		r.ColBand = r.CminBand
+	} else {
+		r.ColBand = takeSlice()
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("bounds: %d trailing bytes after bound set", len(data))
+	}
+	return r, nil
+}

@@ -1,0 +1,83 @@
+package bounds
+
+import (
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+)
+
+func codecGrid(n int) dmatrix.Grid {
+	pts := make([]geo.Point, n)
+	for k := range pts {
+		pts[k] = geo.Point{Lat: 39 + float64(k)*0.003, Lng: 116 + float64(k%5)*0.004}
+	}
+	return dmatrix.ComputeSelf(pts, geo.Haversine)
+}
+
+func TestRelaxedMarshalRoundTrip(t *testing.T) {
+	g := codecGrid(14)
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{
+		// Self point params: CminBand independent, bands windowed.
+		{"self", PointParams(4, true)},
+		// Cross params: CminBand aliases Cmin.
+		{"cross", PointParams(4, false)},
+		// Window 1: slidingMax returns its input, so RowBand aliases
+		// Rmin and ColBand aliases CminBand (which aliases Cmin in the
+		// cross case — a full alias chain).
+		{"window1-cross", Params{Window: 1, Self: false, UseCross: true}},
+		{"window0-self", Params{Window: 0, CrossSep: 5, BandSep: 3, BackSep: 1, Self: true}},
+		{"group", GroupParams(9, 3, true)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRelaxed(g, tc.p)
+			got, err := Unmarshal(r.Marshal())
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(got, r) {
+				t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, r)
+			}
+			// The aliasing (and with it the byte accounting the cache
+			// budget sees) must survive, not just the values.
+			if got.Bytes() != r.Bytes() {
+				t.Fatalf("Bytes: got %d want %d", got.Bytes(), r.Bytes())
+			}
+			if sameSlice(got.CminBand, got.Cmin) != sameSlice(r.CminBand, r.Cmin) {
+				t.Fatal("CminBand aliasing lost")
+			}
+			if sameSlice(got.RowBand, got.Rmin) != sameSlice(r.RowBand, r.Rmin) {
+				t.Fatal("RowBand aliasing lost")
+			}
+			if sameSlice(got.ColBand, got.CminBand) != sameSlice(r.ColBand, r.CminBand) {
+				t.Fatal("ColBand aliasing lost")
+			}
+			// The decoded table must answer bound queries identically.
+			n := len(r.Cmin)
+			for i := 0; i < n; i++ {
+				for j := 0; j < len(r.Rmin); j++ {
+					if got.SubsetLB(0, i, j) != r.SubsetLB(0, i, j) {
+						t.Fatalf("SubsetLB(%d,%d) diverged", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRelaxedUnmarshalRejectsCorruption(t *testing.T) {
+	r := NewRelaxed(codecGrid(10), PointParams(3, true))
+	enc := r.Marshal()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Unmarshal(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

@@ -83,6 +83,13 @@ func (a *admission) acquire(weight int64) (charged int64, ok bool) {
 		a.mu.unlock()
 		return 0, false
 	}
+	// maxWait <= 0 means never wait: reject immediately rather than
+	// queueing with a zero (or negative) timer, which would race the
+	// grant against an already-fired timer channel.
+	if a.maxWait <= 0 {
+		a.mu.unlock()
+		return 0, false
+	}
 	w := &waiter{weight: weight, granted: make(chan struct{})}
 	w.elem = a.waiters.PushBack(w)
 	a.mu.unlock()

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"trajmotif/internal/core"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/store"
+	"trajmotif/internal/traj"
+)
+
+// Backend is the state surface the HTTP layer serves from: the
+// single-process *store.Store implements it directly, and the sharded
+// coordinator (internal/shard) implements it over N stores — handlers
+// cannot tell the difference, which is what makes the N-shard deployment
+// byte-identical to the 1-shard one at the API.
+type Backend interface {
+	core.ArtifactSource
+
+	// Registry surface.
+	Add(t *traj.Trajectory) (store.ID, bool, error)
+	Get(id store.ID) (*traj.Trajectory, bool)
+	Remove(id store.ID) bool
+	Len() int
+	IDs() []store.ID
+
+	// Search support surface.
+	Dist() geo.DistanceFunc
+	IndexFor(ids []store.ID, ts []*traj.Trajectory) *spatial.Index
+	EndpointDists(ts []*traj.Trajectory) func(i, j int) (d0, dn float64, ok bool)
+	PointDists(pts []geo.Point) func(i, j int) (float64, bool)
+
+	// Observability surface.
+	Stats() store.Stats
+}
+
+// ShardedBackend is the optional extension a sharded backend provides;
+// /metrics surfaces per-shard gauges when the server's backend has it.
+type ShardedBackend interface {
+	Backend
+	Shards() int
+	PerShardStats() []store.Stats
+}
+
+var _ Backend = (*store.Store)(nil)

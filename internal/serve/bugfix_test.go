@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trajmotif/internal/store"
+)
+
+// TestFlushReachesUnderlyingWriter: a handler's streaming flush must
+// pass through the metrics statusRecorder to the real connection. The
+// test mounts a flushing handler on the server's own mux and drives the
+// full ServeHTTP path — recorder wrapping included — against an
+// underlying writer that records flushes.
+func TestFlushReachesUnderlyingWriter(t *testing.T) {
+	srv := New(store.New(nil), &Options{Workers: 1})
+	srv.mux.HandleFunc("GET /flushing", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte("chunk-1\n")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("flush through the recorder failed: %v", err)
+		}
+		_, _ = w.Write([]byte("chunk-2\n"))
+	})
+	rec := httptest.NewRecorder() // implements http.Flusher
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/flushing", nil))
+	if !rec.Flushed {
+		t.Fatal("flush never reached the underlying ResponseWriter")
+	}
+	if got := rec.Body.String(); got != "chunk-1\nchunk-2\n" {
+		t.Fatalf("body: %q", got)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: %d", rec.Code)
+	}
+}
+
+// TestFlushBeforeBodyCommitsHeaders: flushing before any write commits
+// a 200 with the Server-Timing stamp, same as a body write would.
+func TestFlushBeforeBodyCommitsHeaders(t *testing.T) {
+	srv := New(store.New(nil), &Options{Workers: 1})
+	srv.mux.HandleFunc("GET /headerflush", func(w http.ResponseWriter, r *http.Request) {
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/headerflush", nil))
+	if !rec.Flushed || rec.Code != http.StatusOK {
+		t.Fatalf("flushed=%v code=%d", rec.Flushed, rec.Code)
+	}
+	if !strings.HasPrefix(rec.Header().Get("Server-Timing"), "app;dur=") {
+		t.Fatalf("Server-Timing not stamped on flush-first response: %q", rec.Header())
+	}
+}
+
+// TestStatusRecorderUnwrap: http.ResponseController reaches the
+// underlying writer's optional interfaces through Unwrap.
+func TestStatusRecorderUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec, start: time.Now()}
+	if sr.Unwrap() != http.ResponseWriter(rec) {
+		t.Fatal("Unwrap does not expose the wrapped writer")
+	}
+}
+
+// TestNegativeQueueWaitRejectsImmediately: QueueWait < 0 documents
+// "never wait" — with the only slot held, the next request 429s at
+// once instead of inheriting the 5-second default stall.
+func TestNegativeQueueWaitRejectsImmediately(t *testing.T) {
+	srv := New(store.New(nil), &Options{
+		Workers:               1,
+		MaxConcurrentSearches: 1,
+		QueueWait:             -1,
+	})
+	charged, ok := srv.sem.acquire(1)
+	if !ok {
+		t.Fatal("setup acquire failed")
+	}
+	defer srv.sem.release(charged)
+
+	start := time.Now()
+	if _, ok := srv.sem.acquire(1); ok {
+		t.Fatal("second acquire admitted past capacity")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("never-wait acquire stalled %v", waited)
+	}
+}
+
+// TestAdmissionZeroMaxWait pins the maxWait <= 0 semantics at the
+// admission layer: immediate rejection, no timer race, and the fast
+// path still admits when slots are free.
+func TestAdmissionZeroMaxWait(t *testing.T) {
+	for _, maxWait := range []time.Duration{0, -time.Second} {
+		a := newAdmission(2, 8, maxWait)
+		charged, ok := a.acquire(2)
+		if !ok || charged != 2 {
+			t.Fatalf("maxWait=%v: free-capacity acquire failed", maxWait)
+		}
+		if _, ok := a.acquire(1); ok {
+			t.Fatalf("maxWait=%v: acquire waited despite never-wait", maxWait)
+		}
+		a.release(charged)
+		if _, ok := a.acquire(1); !ok {
+			t.Fatalf("maxWait=%v: acquire failed after release", maxWait)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"trajmotif/internal/cluster"
+	"trajmotif/internal/geo"
+)
+
+// TestClusterEndpointMemoParity: /cluster routes its endpoint rejections
+// through the store's point-distance memo. The response must be
+// byte-identical to the unmemoized library call, repeat requests must be
+// byte-identical to the first, and the reuse must be visible in /stats
+// (PairDistsReused > 0) — the same bar /join's memo meets.
+func TestClusterEndpointMemoParity(t *testing.T) {
+	ts, srv := harness(t)
+	tr := fixture(t, 9, 150)
+	id := upload(t, ts, tr)
+
+	post := func() []byte {
+		body, err := json.Marshal(clusterRequest{ID: id, Window: 24, Eps: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/cluster", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d err %v: %s", resp.StatusCode, err, raw)
+		}
+		return raw
+	}
+
+	first := post()
+	second := post()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat /cluster diverged:\n%s\n%s", first, second)
+	}
+
+	// The memoized handler result must match the unmemoized library
+	// call exactly — spans and membership alike.
+	plain, err := cluster.Subtrajectories(tr, 24, 800, &cluster.Options{Dist: geo.Haversine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]clusterResponse, len(plain))
+	for k, c := range plain {
+		want[k] = clusterResponse{Representative: spanJSON{c.Representative.Start, c.Representative.End}}
+		for _, m := range c.Members {
+			want[k].Members = append(want[k].Members, spanJSON{m.Start, m.End})
+		}
+	}
+	var got []clusterResponse
+	if err := json.Unmarshal(first, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("memoized /cluster differs from direct clustering:\n got %+v\nwant %+v", got, want)
+	}
+
+	st := srv.Backend().Stats()
+	if st.PairDistsBuilt == 0 {
+		t.Fatalf("memo never populated: %+v", st)
+	}
+	if st.PairDistsReused == 0 {
+		t.Fatalf("repeat /cluster never hit the memo: %+v", st)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"trajmotif/internal/store"
 )
 
 // latencyBuckets are the request-duration histogram upper bounds in
@@ -82,6 +84,12 @@ type liveCounters struct {
 	evictedTTL       int64
 	pairDistsBuilt   int64
 	pairDistsReused  int64
+	diskArtifacts    int
+	diskBytes        int64
+	diskWrites       int64
+	diskReads        int64
+	diskErrors       int64
+	shards           int
 	indexConsulted   int64
 	indexPruned      int64
 	admissionInUse   int64
@@ -90,6 +98,9 @@ type liveCounters struct {
 	uptimeSeconds    float64
 	workerCapacity   int64
 	admissionEnabled bool
+	// perShard carries one store snapshot per shard (nil for a plain
+	// store backend), rendered as shard-labelled gauges.
+	perShard []store.Stats
 }
 
 // render writes the Prometheus text exposition (version 0.0.4). Output
@@ -161,6 +172,14 @@ func (m *metrics) render(w *strings.Builder, live liveCounters) {
 	counter("motifserve_index_consulted_total", "Spatial-index candidate checks across /knn and /join.", live.indexConsulted)
 	counter("motifserve_index_pruned_total", "Candidates dismissed by the spatial index alone.", live.indexPruned)
 
+	gauge("motifserve_disk_artifacts", "Artifacts resident in the disk tier (0 = tier disabled).", live.diskArtifacts)
+	gauge("motifserve_disk_bytes", "Bytes resident in the disk artifact tier.", live.diskBytes)
+	counter("motifserve_disk_writes_total", "Artifacts spilled to the disk tier.", live.diskWrites)
+	counter("motifserve_disk_reads_total", "Artifacts promoted from the disk tier.", live.diskReads)
+	counter("motifserve_disk_errors_total", "Disk-tier write failures plus torn artifacts healed on read.", live.diskErrors)
+	gauge("motifserve_shards", "Store shards behind the server (1 = unsharded).", live.shards)
+	renderPerShard(w, live.perShard)
+
 	if live.admissionEnabled {
 		gauge("motifserve_admission_worker_capacity", "Configured global search-worker capacity.", live.workerCapacity)
 		gauge("motifserve_admission_workers_in_use", "Search-worker slots currently admitted.", live.admissionInUse)
@@ -168,6 +187,66 @@ func (m *metrics) render(w *strings.Builder, live liveCounters) {
 	}
 	counter("motifserve_admission_rejected_total", "Search requests rejected with 429 by admission control.", live.admissionReject)
 	gauge("motifserve_uptime_seconds", "Seconds since the server started.", strconv.FormatFloat(live.uptimeSeconds, 'f', 3, 64))
+}
+
+// renderPerShard emits one shard-labelled series per store counter — the
+// per-shard breakdown of the aggregate gauges above, for spotting a hot
+// or failing shard. Every exported store.Stats field is represented, so
+// a counter added to the store cannot silently vanish from the per-shard
+// view (the statsmerge check enforces this).
+func renderPerShard(w *strings.Builder, snaps []store.Stats) {
+	if len(snaps) == 0 {
+		return
+	}
+	series := []struct {
+		name, help, typ string
+		val             func(st store.Stats) string
+	}{
+		{"motifserve_shard_trajectories", "Trajectories registered on the shard.", "gauge",
+			func(st store.Stats) string { return strconv.Itoa(st.Trajectories) }},
+		{"motifserve_shard_trajectories_max", "Shard registry capacity (0 = unbounded).", "gauge",
+			func(st store.Stats) string { return strconv.Itoa(st.MaxTrajectories) }},
+		{"motifserve_shard_trajectory_ttl_seconds", "Shard registry idle TTL (0 = disabled).", "gauge",
+			func(st store.Stats) string { return strconv.FormatFloat(st.TrajectoryTTL.Seconds(), 'f', 3, 64) }},
+		{"motifserve_shard_cache_artifacts", "Artifacts resident in the shard's cache.", "gauge",
+			func(st store.Stats) string { return strconv.Itoa(st.Artifacts) }},
+		{"motifserve_shard_cache_bytes", "Bytes resident in the shard's cache.", "gauge",
+			func(st store.Stats) string { return strconv.FormatInt(st.CacheBytes, 10) }},
+		{"motifserve_shard_cache_budget_bytes", "Shard artifact-cache byte budget.", "gauge",
+			func(st store.Stats) string { return strconv.FormatInt(st.CacheBudget, 10) }},
+		{"motifserve_shard_artifacts_built_total", "Artifact constructions performed by the shard.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.Built, 10) }},
+		{"motifserve_shard_artifacts_reused_total", "Artifact constructions skipped by the shard's caches.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.Reused, 10) }},
+		{"motifserve_shard_artifact_evictions_total", "Artifacts dropped by the shard's budget or purges.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.Evicted, 10) }},
+		{"motifserve_shard_removed_total", "Trajectories manually removed from the shard.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.Removed, 10) }},
+		{"motifserve_shard_evicted_lru_total", "Trajectories LRU-evicted from the shard.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.EvictedLRU, 10) }},
+		{"motifserve_shard_evicted_ttl_total", "Trajectories TTL-expired from the shard.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.EvictedTTL, 10) }},
+		{"motifserve_shard_pair_dists_built_total", "Endpoint-distance memos built by the shard.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.PairDistsBuilt, 10) }},
+		{"motifserve_shard_pair_dists_reused_total", "Endpoint-distance memos served from the shard's caches.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.PairDistsReused, 10) }},
+		{"motifserve_shard_disk_artifacts", "Artifacts resident in the shard's disk tier.", "gauge",
+			func(st store.Stats) string { return strconv.Itoa(st.DiskArtifacts) }},
+		{"motifserve_shard_disk_bytes", "Bytes resident in the shard's disk tier.", "gauge",
+			func(st store.Stats) string { return strconv.FormatInt(st.DiskBytes, 10) }},
+		{"motifserve_shard_disk_writes_total", "Artifacts the shard spilled to disk.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.DiskWrites, 10) }},
+		{"motifserve_shard_disk_reads_total", "Artifacts the shard promoted from disk.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.DiskReads, 10) }},
+		{"motifserve_shard_disk_errors_total", "Shard disk-tier failures and healed torn artifacts.", "counter",
+			func(st store.Stats) string { return strconv.FormatInt(st.DiskErrors, 10) }},
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
+		for i, st := range snaps {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", s.name, i, s.val(st))
+		}
+	}
 }
 
 // statusRecorder wraps a ResponseWriter to capture the status code and
@@ -197,6 +276,25 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 		r.WriteHeader(http.StatusOK)
 	}
 	return r.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// handlers can reach Flush/SetWriteDeadline/Hijack through the recorder
+// instead of finding a wrapper that silently supports none of them.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// Flush passes a streaming flush through (headers are stamped first, as
+// a flush commits them exactly like a body write). Without this — and
+// Unwrap above — wrapping the writer made every response unflushable:
+// http.Flusher asserted against the recorder failed, and SSE or
+// long-poll handlers would buffer until the handler returned.
+func (r *statusRecorder) Flush() {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // status returns the recorded status (200 when the handler wrote a body

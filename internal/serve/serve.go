@@ -103,14 +103,16 @@ type Options struct {
 	// short).
 	MaxQueuedSearches int
 	// QueueWait bounds how long one queued request waits before 429.
-	// Zero selects DefaultQueueWait.
+	// Zero selects DefaultQueueWait; negative means never wait — a
+	// request that cannot be admitted immediately is rejected on the
+	// spot, regardless of queue capacity.
 	QueueWait time.Duration
 }
 
 // Server is the HTTP handler. Create with New; it is safe for concurrent
 // requests (the store serializes cache access internally).
 type Server struct {
-	st       *store.Store
+	st       Backend
 	workers  int
 	maxBody  int64
 	sem      *admission // nil: admission control disabled
@@ -130,8 +132,9 @@ type Server struct {
 	projectionFallbacks atomic.Int64
 }
 
-// New builds a server around st. opt may be nil for defaults.
-func New(st *store.Store, opt *Options) *Server {
+// New builds a server around a backend — a *store.Store, or the sharded
+// coordinator. opt may be nil for defaults.
+func New(st Backend, opt *Options) *Server {
 	s := &Server{st: st, maxBody: DefaultMaxBodyBytes, met: newMetrics(), started: time.Now()}
 	maxConc := 0
 	maxQueue := 0
@@ -145,7 +148,10 @@ func New(st *store.Store, opt *Options) *Server {
 		}
 		maxConc = opt.MaxConcurrentSearches
 		maxQueue = opt.MaxQueuedSearches
-		if opt.QueueWait > 0 {
+		// Negative means "never wait" — it must not collapse into the
+		// default the way zero does, or -queue-wait=-1 silently becomes
+		// a 5-second stall before the 429.
+		if opt.QueueWait != 0 {
 			queueWait = opt.QueueWait
 		}
 	}
@@ -243,8 +249,16 @@ func (s *Server) searchWeight(workers int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Store returns the trajectory store the server fronts.
-func (s *Server) Store() *store.Store { return s.st }
+// Store returns the trajectory store the server fronts, or nil when the
+// backend is not a plain single store (use Backend for the general
+// surface).
+func (s *Server) Store() *store.Store {
+	st, _ := s.st.(*store.Store)
+	return st
+}
+
+// Backend returns the state backend the server fronts.
+func (s *Server) Backend() Backend { return s.st }
 
 func (s *Server) resolveWorkers(req int) int {
 	if req > 0 {
@@ -932,6 +946,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	clusters, err := cluster.Subtrajectories(t, req.Window, req.Eps, &cluster.Options{
 		Dist: s.st.Dist(), Stride: req.Stride, MinSize: req.MinSize,
+		// Route the per-window endpoint rejections through the store's
+		// point-distance memo — byte-identical values (HaversinePrepared
+		// is bit-identical to Haversine), so repeat /cluster calls skip
+		// the ground-distance evaluations without changing one byte.
+		EndpointDists: s.st.PointDists(t.Points),
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -976,9 +995,24 @@ type serverStats struct {
 	PairDistsBuilt      int64  `json:"pairDistsBuilt"`
 	PairDistsReused     int64  `json:"pairDistsReused"`
 	ProjectionFallbacks int64  `json:"projectionFallbacks"`
+	DiskArtifacts       int    `json:"diskArtifacts"`
+	DiskBytes           int64  `json:"diskBytes"`
+	DiskWrites          int64  `json:"diskWrites"`
+	DiskReads           int64  `json:"diskReads"`
+	DiskErrors          int64  `json:"diskErrors"`
+	Shards              int    `json:"shards"`
 	Requests            int64  `json:"requests"`
 	Rejected            int64  `json:"rejected"`
 	Uptime              string `json:"uptime"`
+}
+
+// shardCount reports the backend's shard count: N for the coordinator,
+// 1 for a plain store.
+func (s *Server) shardCount() int {
+	if sb, ok := s.st.(ShardedBackend); ok {
+		return sb.Shards()
+	}
+	return 1
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1002,6 +1036,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PairDistsBuilt:      st.PairDistsBuilt,
 		PairDistsReused:     st.PairDistsReused,
 		ProjectionFallbacks: s.projectionFallbacks.Load(),
+		DiskArtifacts:       st.DiskArtifacts,
+		DiskBytes:           st.DiskBytes,
+		DiskWrites:          st.DiskWrites,
+		DiskReads:           st.DiskReads,
+		DiskErrors:          st.DiskErrors,
+		Shards:              s.shardCount(),
 		Requests:            s.requests.Load(),
 		Rejected:            s.rejected.Load(),
 		Uptime:              time.Since(s.started).Round(time.Millisecond).String(),
@@ -1029,6 +1069,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		evictedTTL:      st.EvictedTTL,
 		pairDistsBuilt:  st.PairDistsBuilt,
 		pairDistsReused: st.PairDistsReused,
+		diskArtifacts:   st.DiskArtifacts,
+		diskBytes:       st.DiskBytes,
+		diskWrites:      st.DiskWrites,
+		diskReads:       st.DiskReads,
+		diskErrors:      st.DiskErrors,
+		shards:          s.shardCount(),
 		indexConsulted:  s.indexConsulted.Load(),
 		indexPruned:     s.indexPruned.Load(),
 		admissionReject: s.rejected.Load(),
@@ -1038,6 +1084,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		live.admissionEnabled = true
 		live.workerCapacity = s.capacity
 		live.admissionInUse, live.admissionQueued = s.sem.snapshot()
+	}
+	if sb, ok := s.st.(ShardedBackend); ok {
+		live.perShard = sb.PerShardStats()
 	}
 	var b strings.Builder
 	s.met.render(&b, live)

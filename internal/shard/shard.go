@@ -1,0 +1,397 @@
+// Package shard partitions the serve-mode trajectory store across N
+// in-process shards behind one coordinator that implements the same
+// serving surface (core.ArtifactSource plus the registry/retrieval
+// methods internal/serve consumes), so the HTTP layer is oblivious to
+// the shard count.
+//
+// Sharding happens at the state layer, not the search layer. Trajectory
+// registrations route by registry content ID, artifacts by the geometry
+// content ID their keys derive from; the searches themselves still run
+// globally over the resolved dataset, pulling artifacts from whichever
+// shard owns them. That placement is what makes an N-shard deployment
+// byte-identical to the 1-shard store — results and effort counters
+// alike: a per-shard partial kNN could merge result lists under the
+// canonical (distance, id) order, but the paper's pruning cascade
+// threads a globally sequential kth-best bound through the candidate
+// walk, so independently searched shards would provably prune different
+// counts and the /stats counters would diverge. Partitioning the state
+// keeps every artifact built exactly once on exactly one shard (sums
+// match the single store), while Add/Remove/IDs/Stats scatter-gather
+// across shards concurrently and merge deterministically.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"trajmotif/internal/bounds"
+	"trajmotif/internal/core"
+	"trajmotif/internal/dmatrix"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/spatial"
+	"trajmotif/internal/store"
+	"trajmotif/internal/traj"
+)
+
+// Coordinator fronts N store shards. It is safe for concurrent use: its
+// own mutex guards only the insertion-order bookkeeping; everything else
+// delegates to the shards, which lock internally.
+type Coordinator struct {
+	shards []*store.Store
+	df     geo.DistanceFunc
+
+	mu      sync.Mutex
+	order   []store.ID // coordinator-wide insertion order
+	inOrder map[store.ID]bool
+}
+
+// New creates a coordinator over n shards. opt (may be nil) is the
+// single-store configuration; the byte budget and registry cap are
+// divided across shards so an N-shard deployment consumes the same
+// resources the 1-shard store would, and ArtifactDir gets a per-shard
+// "shard-<i>" subdirectory so shards never contend for files.
+func New(n int, opt *store.Options) (*Coordinator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	var base store.Options
+	if opt != nil {
+		base = *opt
+	}
+	c := &Coordinator{shards: make([]*store.Store, n), inOrder: make(map[store.ID]bool)}
+	for i := range c.shards {
+		so := base
+		if so.CacheBytes == 0 {
+			so.CacheBytes = store.DefaultCacheBytes
+		}
+		if so.CacheBytes > 0 {
+			so.CacheBytes = max(so.CacheBytes/int64(n), 1)
+		}
+		if so.MaxTrajectories > 0 {
+			// Ceiling division: N shards must hold at least the single
+			// store's cap in aggregate.
+			so.MaxTrajectories = (so.MaxTrajectories + n - 1) / n
+		}
+		if so.ArtifactDir != "" {
+			so.ArtifactDir = fmt.Sprintf("%s/shard-%d", base.ArtifactDir, i)
+		}
+		c.shards[i] = store.New(&so)
+	}
+	c.df = c.shards[0].Dist()
+	return c, nil
+}
+
+// Shards reports the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// shardFor routes a content ID to its owning shard: FNV-1a over the hex
+// ID, mod N. Content IDs are already uniform SHA-256 output, so any
+// stable cheap hash spreads them evenly.
+func (c *Coordinator) shardFor(id store.ID) *store.Store {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Add routes a trajectory to the shard its registry content ID hashes
+// to and records coordinator-wide insertion order.
+func (c *Coordinator) Add(t *traj.Trajectory) (store.ID, bool, error) {
+	if t == nil || t.Len() == 0 {
+		return "", false, fmt.Errorf("store: nil or empty trajectory")
+	}
+	id := store.IDFor(t)
+	id2, created, err := c.shardFor(id).Add(t)
+	if err != nil {
+		return id2, created, err
+	}
+	if created {
+		c.mu.Lock()
+		if c.inOrder[id2] {
+			// The shard evicted and re-admitted this content: it moves to
+			// the end of the insertion order, matching the single store.
+			c.dropFromOrderLocked(id2)
+		}
+		c.order = append(c.order, id2)
+		c.inOrder[id2] = true
+		c.mu.Unlock()
+	}
+	return id2, created, err
+}
+
+// dropFromOrderLocked removes one id from the coordinator order.
+func (c *Coordinator) dropFromOrderLocked(id store.ID) {
+	for k, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:k], c.order[k+1:]...)
+			break
+		}
+	}
+	delete(c.inOrder, id)
+}
+
+// Get resolves an id on its owning shard ("touch on query" applies
+// there, like the single store).
+func (c *Coordinator) Get(id store.ID) (*traj.Trajectory, bool) {
+	return c.shardFor(id).Get(id)
+}
+
+// Remove deletes a trajectory from its owning shard and broadcasts the
+// artifact purge: the trajectory registers by registry ID but its
+// artifacts key by geometry ID — and pair memos by canonical ID order —
+// so derived artifacts can live on other shards.
+func (c *Coordinator) Remove(id store.ID) bool {
+	owner := c.shardFor(id)
+	t, ok := owner.Get(id)
+	if !ok {
+		return false
+	}
+	pid := store.PointsID(t.Points)
+	if !owner.Remove(id) {
+		return false
+	}
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		if sh == owner {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.PurgeArtifacts(pid)
+		}()
+	}
+	wg.Wait()
+	c.mu.Lock()
+	c.dropFromOrderLocked(id)
+	c.mu.Unlock()
+	return true
+}
+
+// Len sums the shard registries (ids partition across shards, so the
+// sum never double-counts).
+func (c *Coordinator) Len() int {
+	total := 0
+	for _, n := range scatterInto(c.shards, func(sh *store.Store) int { return sh.Len() }) {
+		total += n
+	}
+	return total
+}
+
+// IDs lists registered trajectories in coordinator-wide insertion order
+// — the order the 1-shard store would report. Shard-local evictions
+// (TTL, capacity) are reconciled lazily: membership scatters across the
+// shards concurrently and the stale order entries are pruned here.
+func (c *Coordinator) IDs() []store.ID {
+	lists := scatterInto(c.shards, func(sh *store.Store) []store.ID { return sh.IDs() })
+	live := make(map[store.ID]bool)
+	for _, ids := range lists {
+		for _, id := range ids {
+			live[id] = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.order[:0]
+	for _, id := range c.order {
+		if live[id] {
+			kept = append(kept, id)
+		} else {
+			delete(c.inOrder, id)
+		}
+	}
+	c.order = kept
+	return append([]store.ID(nil), c.order...)
+}
+
+// scatterInto fans one accessor out across every shard concurrently and
+// gathers the results in shard order — deterministic regardless of
+// completion order.
+func scatterInto[T any](shards []*store.Store, f func(*store.Store) T) []T {
+	out := make([]T, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = f(sh)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Dist returns the ground distance every shard's artifacts are computed
+// under (identical across shards by construction).
+func (c *Coordinator) Dist() geo.DistanceFunc { return c.df }
+
+// Stats merges the shard snapshots into one store.Stats with every
+// counter summed — the numbers the 1-shard store would report.
+// TrajectoryTTL is policy, identical across shards, taken from shard 0.
+func (c *Coordinator) Stats() store.Stats {
+	snaps := scatterInto(c.shards, func(sh *store.Store) store.Stats { return sh.Stats() })
+	return mergeStats(snaps)
+}
+
+// PerShardStats snapshots each shard separately, in shard order — the
+// /metrics per-shard gauges read these.
+func (c *Coordinator) PerShardStats() []store.Stats {
+	return scatterInto(c.shards, func(sh *store.Store) store.Stats { return sh.Stats() })
+}
+
+// mergeStats folds per-shard snapshots into the aggregate view: counters
+// and capacities sum; TrajectoryTTL is a shared policy echo.
+func mergeStats(snaps []store.Stats) store.Stats {
+	var m store.Stats
+	for i, s := range snaps {
+		m.Trajectories += s.Trajectories
+		m.Artifacts += s.Artifacts
+		m.CacheBytes += s.CacheBytes
+		m.CacheBudget += s.CacheBudget
+		m.Built += s.Built
+		m.Reused += s.Reused
+		m.Evicted += s.Evicted
+		m.Removed += s.Removed
+		m.EvictedLRU += s.EvictedLRU
+		m.EvictedTTL += s.EvictedTTL
+		m.PairDistsBuilt += s.PairDistsBuilt
+		m.PairDistsReused += s.PairDistsReused
+		m.MaxTrajectories += s.MaxTrajectories
+		m.DiskArtifacts += s.DiskArtifacts
+		m.DiskBytes += s.DiskBytes
+		m.DiskWrites += s.DiskWrites
+		m.DiskReads += s.DiskReads
+		m.DiskErrors += s.DiskErrors
+		if i == 0 {
+			m.TrajectoryTTL = s.TrajectoryTTL
+		}
+	}
+	return m
+}
+
+// IndexFor builds a position-keyed spatial index over a resolved
+// dataset. The single store serves cached MBRs here; the coordinator
+// recomputes them — byte-identical by the SpatialParity invariant
+// (trajectories are immutable, so a cached MBR always equals
+// spatial.Bound of its points).
+func (c *Coordinator) IndexFor(ids []store.ID, ts []*traj.Trajectory) *spatial.Index {
+	ix := spatial.NewIndex(&spatial.IndexOptions{Dist: c.df})
+	for k, t := range ts {
+		ix.Insert(k, spatial.Bound(t.Points))
+	}
+	return ix
+}
+
+// Artifacts implements core.ArtifactSource: the request routes to the
+// shard that owns the subject geometry (artifact keys derive from the A
+// sequence's content hash), which serves it from its own RAM/disk tiers.
+// One divergence from the single store is deliberate and invisible: a
+// swapped cross pair (B, A) routes by B's geometry, so the (A, B) grid
+// cached on A's shard is out of reach and the swapped grid is computed
+// rather than transposed — both paths count as one build, bit-identical
+// output, so results and counters still match.
+func (c *Coordinator) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Relaxed, int) {
+	return c.shardFor(store.PointsID(req.A)).Artifacts(req)
+}
+
+// EndpointDists returns the memoizing per-pair endpoint-distance
+// supplier, routing each pair to the shard owning the canonical
+// (smaller) geometry ID — the same ID the memo key leads with, so a
+// pair's memo lives on exactly one shard. Geometry IDs for the dataset
+// are hashed lazily and memoized for the supplier's lifetime.
+func (c *Coordinator) EndpointDists(ts []*traj.Trajectory) func(i, j int) (float64, float64, bool) {
+	subs := scatterInto(c.shards, func(sh *store.Store) func(i, j int) (float64, float64, bool) {
+		return sh.EndpointDists(ts)
+	})
+	for _, sub := range subs {
+		if sub == nil {
+			return nil // caching disabled; identical across shards
+		}
+	}
+	pids := c.pidCache(len(ts), func(k int) []geo.Point { return ts[k].Points })
+	shardIx := c.shardIndex()
+	return func(i, j int) (float64, float64, bool) {
+		a, b := pids(i), pids(j)
+		if b < a {
+			a = b
+		}
+		return subs[shardIx(a)](i, j)
+	}
+}
+
+// PointDists returns the intra-trajectory point-distance supplier from
+// the shard owning the geometry — one hash, then a straight delegate.
+func (c *Coordinator) PointDists(pts []geo.Point) func(i, j int) (float64, bool) {
+	if len(pts) == 0 {
+		return nil
+	}
+	return c.shardFor(store.PointsID(pts)).PointDists(pts)
+}
+
+// pidCache returns a lazy, mutex-guarded position → geometry-ID memo.
+func (c *Coordinator) pidCache(n int, pts func(int) []geo.Point) func(int) store.ID {
+	var mu sync.Mutex
+	ids := make(map[int]store.ID, n)
+	return func(k int) store.ID {
+		mu.Lock()
+		defer mu.Unlock()
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := store.PointsID(pts(k))
+		ids[k] = id
+		return id
+	}
+}
+
+// shardIndex returns the ID → shard-ordinal routing function (the index
+// variant of shardFor, for callers that hold per-shard slices).
+func (c *Coordinator) shardIndex() func(store.ID) int {
+	n := uint64(len(c.shards))
+	return func(id store.ID) int {
+		if n == 1 {
+			return 0
+		}
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		return int(h.Sum64() % n)
+	}
+}
+
+// Snapshot writes every registered trajectory — coordinator insertion
+// order, all shards — to one snapshot file, atomically.
+func (c *Coordinator) Snapshot(path string) (int, error) {
+	ids := c.IDs()
+	ts := make([]*traj.Trajectory, 0, len(ids))
+	for _, id := range ids {
+		if t, ok := c.Get(id); ok {
+			ts = append(ts, t)
+		}
+	}
+	if err := store.WriteSnapshotFile(path, store.EncodeSnapshot(ts)); err != nil {
+		return 0, err
+	}
+	return len(ts), nil
+}
+
+// Restore re-registers every trajectory from a snapshot file through
+// coordinator routing — so a snapshot taken at one shard count restores
+// correctly at any other. A missing file is a clean first boot.
+func (c *Coordinator) Restore(path string) (int, error) {
+	ts, err := store.ReadSnapshotFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range ts {
+		if _, created, err := c.Add(t); err != nil {
+			return n, err
+		} else if created {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,373 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"trajmotif/internal/core"
+	"trajmotif/internal/datagen"
+	"trajmotif/internal/geo"
+	"trajmotif/internal/serve"
+	"trajmotif/internal/store"
+	"trajmotif/internal/traj"
+)
+
+// artifactReq is the canonical self request the disk/restart checks
+// drive the coordinator's ArtifactSource surface with.
+func artifactReq(tr *traj.Trajectory, xi int) core.ArtifactRequest {
+	return core.ArtifactRequest{
+		A: tr.Points, Self: true, Xi: xi, WithBounds: true,
+		Dist: geo.Haversine, Workers: 1,
+	}
+}
+
+// The coordinator must satisfy the full serving surface, per-shard
+// extension included, or serve.New cannot front it.
+var (
+	_ serve.Backend        = (*Coordinator)(nil)
+	_ serve.ShardedBackend = (*Coordinator)(nil)
+)
+
+func fixture(t *testing.T, seed int64, n int) *traj.Trajectory {
+	t.Helper()
+	tr, err := datagen.Dataset(datagen.GeoLifeName, datagen.Config{Seed: seed, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// post sends one JSON request and returns status + raw body bytes — the
+// parity suite compares bodies byte-for-byte, not decoded values.
+func post(t *testing.T, url, method, path string, body any) (int, []byte) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != nil {
+		b, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		req, err = http.NewRequest(method, url+path, bytes.NewReader(b))
+	} else {
+		req, err = http.NewRequest(method, url+path, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// scrubStats blanks the /stats fields that legitimately differ between
+// a sharded and an unsharded deployment: wall-clock uptime and the
+// shard count itself. Every other field — trajectories, cache and disk
+// counters, built/reused effort, pair memos — must match byte-for-byte.
+var scrubStats = regexp.MustCompile(`"(uptime|shards)":("[^"]*"|[0-9]+)`)
+
+// scrubTimings blanks the wall-clock millisecond fields search responses
+// embed. Every effort counter — subsets, dpCells, gridRebuildsAvoided,
+// prunes — stays in the byte comparison.
+var scrubTimings = regexp.MustCompile(`"(precomputeMs|searchMs)":[0-9.eE+-]+`)
+
+// TestShardParityHTTP is the tentpole acceptance test for the sharded
+// half: the same request stream against a 1-shard plain store and
+// against 1-, 2- and 4-shard coordinators, at within-search workers 1
+// and 4, yields byte-identical response bodies on every search endpoint
+// — and byte-identical /stats effort counters.
+func TestShardParityHTTP(t *testing.T) {
+	type backendCase struct {
+		name string
+		mk   func(t *testing.T) serve.Backend
+	}
+	cases := []backendCase{
+		{"store", func(t *testing.T) serve.Backend { return store.New(nil) }},
+	}
+	for _, n := range []int{1, 2, 4} {
+		cases = append(cases, backendCase{fmt.Sprintf("shards%d", n), func(t *testing.T) serve.Backend {
+			c, err := New(n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}})
+	}
+
+	trs := []*traj.Trajectory{
+		fixture(t, 41, 120), fixture(t, 42, 100), fixture(t, 43, 140), fixture(t, 44, 90),
+	}
+
+	for _, workers := range []int{1, 4} {
+		// Drive the reference (plain store) first, recording every
+		// response; then demand byte equality from each coordinator.
+		type exchange struct {
+			method, path string
+			status       int
+			body         []byte
+		}
+		var reference []exchange
+
+		run := func(t *testing.T, bk serve.Backend, record bool) {
+			srv := httptest.NewServer(serve.New(bk, &serve.Options{Workers: workers}))
+			defer srv.Close()
+
+			var ids []store.ID
+			for _, tr := range trs {
+				req := map[string]any{"points": pointsJSON(tr)}
+				status, body := post(t, srv.URL, "POST", "/trajectories", req)
+				if status != http.StatusOK {
+					t.Fatalf("upload: %d %s", status, body)
+				}
+				var resp struct {
+					ID store.ID `json:"id"`
+				}
+				if err := json.Unmarshal(body, &resp); err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, resp.ID)
+			}
+
+			requests := []struct {
+				method, path string
+				body         any
+			}{
+				{"POST", "/discover", map[string]any{"id": ids[0], "xi": 8}},
+				{"POST", "/discover", map[string]any{"id": ids[0], "id2": ids[1], "xi": 6}},
+				// The swapped orientation: single store transposes, shards
+				// recompute — both count one build, identical bytes.
+				{"POST", "/discover", map[string]any{"id": ids[1], "id2": ids[0], "xi": 6}},
+				{"POST", "/discover/pairs", map[string]any{"ids": ids, "xi": 6}},
+				{"POST", "/topk", map[string]any{"id": ids[2], "xi": 8, "k": 3}},
+				{"POST", "/knn", map[string]any{"query": ids[0], "k": 3}},
+				{"POST", "/join", map[string]any{"eps": 2000.0}},
+				{"POST", "/join", map[string]any{"eps": 2000.0}}, // repeat: memo-hit path
+				{"POST", "/cluster", map[string]any{"id": ids[3], "window": 20, "eps": 500.0}},
+				{"POST", "/cluster", map[string]any{"id": ids[3], "window": 20, "eps": 500.0}},
+				{"DELETE", "/trajectories/" + string(ids[3]), nil},
+				{"POST", "/knn", map[string]any{"query": ids[0], "k": 3}}, // post-delete dataset
+				{"GET", "/stats", nil},
+			}
+			for k, rq := range requests {
+				status, body := post(t, srv.URL, rq.method, rq.path, rq.body)
+				body = scrubTimings.ReplaceAll(body, []byte(`"$1":x`))
+				if rq.path == "/stats" {
+					body = scrubStats.ReplaceAll(body, []byte(`"$1":x`))
+				}
+				if record {
+					reference = append(reference, exchange{rq.method, rq.path, status, body})
+					continue
+				}
+				want := reference[k]
+				if status != want.status || !bytes.Equal(body, want.body) {
+					t.Fatalf("%s %s (request %d) diverges from the 1-shard store:\nwant %d %s\ngot  %d %s",
+						rq.method, rq.path, k, want.status, want.body, status, body)
+				}
+			}
+		}
+
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			for i, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					run(t, tc.mk(t), i == 0)
+				})
+			}
+		})
+	}
+}
+
+func pointsJSON(tr *traj.Trajectory) [][2]float64 {
+	out := make([][2]float64, tr.Len())
+	for k, p := range tr.Points {
+		out[k] = [2]float64{p.Lat, p.Lng}
+	}
+	return out
+}
+
+// TestCoordinatorRegistry: routing, insertion order, dedup, and Len
+// across shard counts match the single store's registry semantics.
+func TestCoordinatorRegistry(t *testing.T) {
+	single := store.New(nil)
+	c, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantIDs []store.ID
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := fixture(t, seed, 40)
+		id1, created1, err1 := single.Add(tr)
+		id2, created2, err2 := c.Add(tr)
+		if err1 != nil || err2 != nil || id1 != id2 || created1 != created2 {
+			t.Fatalf("Add diverges: (%v,%v,%v) vs (%v,%v,%v)", id1, created1, err1, id2, created2, err2)
+		}
+		wantIDs = append(wantIDs, id1)
+	}
+	// Duplicate content dedups identically.
+	tr := fixture(t, 3, 40)
+	if _, created, _ := c.Add(tr); created {
+		t.Fatal("duplicate Add claimed creation")
+	}
+	if c.Len() != single.Len() {
+		t.Fatalf("Len: %d vs %d", c.Len(), single.Len())
+	}
+	if got := c.IDs(); !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("IDs order diverges:\n got %v\nwant %v", got, wantIDs)
+	}
+	for _, id := range wantIDs {
+		got, ok := c.Get(id)
+		want, _ := single.Get(id)
+		if !ok || got.Len() != want.Len() {
+			t.Fatalf("Get(%s) diverges", id)
+		}
+	}
+	// Remove drops from order and registry.
+	if !c.Remove(wantIDs[2]) {
+		t.Fatal("Remove missed a registered id")
+	}
+	if c.Remove(wantIDs[2]) {
+		t.Fatal("double Remove succeeded")
+	}
+	rest := append(append([]store.ID(nil), wantIDs[:2]...), wantIDs[3:]...)
+	if got := c.IDs(); !reflect.DeepEqual(got, rest) {
+		t.Fatalf("post-Remove IDs: %v want %v", got, rest)
+	}
+	if c.Stats().Removed != 1 {
+		t.Fatalf("Removed counter: %+v", c.Stats())
+	}
+}
+
+// TestRemoveBroadcastsPurge: a pair memo lives on the shard owning the
+// canonical (smaller) geometry ID — not necessarily a shard owning
+// either trajectory — so Remove must purge on every shard.
+func TestRemoveBroadcastsPurge(t *testing.T) {
+	c, err := New(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fixture(t, 51, 30), fixture(t, 52, 30)
+	ida, _, _ := c.Add(a)
+	if _, _, err := c.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	ts := []*traj.Trajectory{a, b}
+	ed := c.EndpointDists(ts)
+	if ed == nil {
+		t.Fatal("EndpointDists nil with caching on")
+	}
+	ed(0, 1)
+	if st := c.Stats(); st.PairDistsBuilt != 1 {
+		t.Fatalf("pair memo not built: %+v", st)
+	}
+	if !c.Remove(ida) {
+		t.Fatal("Remove failed")
+	}
+	// The purge must have reached the memo's shard, wherever it lives.
+	if st := c.Stats(); st.Evicted != 1 {
+		t.Fatalf("pair memo survived the broadcast purge: %+v", st)
+	}
+	// Rebuilt on next use, not served stale.
+	ed2 := c.EndpointDists(ts)
+	ed2(0, 1)
+	if st := c.Stats(); st.PairDistsBuilt != 2 {
+		t.Fatalf("memo not rebuilt after purge: %+v", st)
+	}
+}
+
+// TestCoordinatorSnapshotAcrossShardCounts: a snapshot taken at one
+// shard count restores at another — routing re-derives from content.
+func TestCoordinatorSnapshotAcrossShardCounts(t *testing.T) {
+	c2, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []store.ID
+	for seed := int64(61); seed <= 65; seed++ {
+		id, _, err := c2.Add(fixture(t, seed, 35))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	snap := filepath.Join(t.TempDir(), "registry.snap")
+	if n, err := c2.Snapshot(snap); err != nil || n != 5 {
+		t.Fatalf("Snapshot: n=%d err=%v", n, err)
+	}
+	c3, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c3.Restore(snap); err != nil || n != 5 {
+		t.Fatalf("Restore: n=%d err=%v", n, err)
+	}
+	if got := c3.IDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored IDs diverge:\n got %v\nwant %v", got, want)
+	}
+	// A missing snapshot restores as a clean first boot.
+	if n, err := c3.Restore(filepath.Join(t.TempDir(), "absent.snap")); n != 0 || err != nil {
+		t.Fatalf("missing snapshot: n=%d err=%v", n, err)
+	}
+	// Bad shard counts are rejected.
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+}
+
+// TestCoordinatorDiskTier: per-shard artifact directories spill and
+// promote independently; a restarted coordinator over the same root
+// comes back warm.
+func TestCoordinatorDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Coordinator {
+		c, err := New(2, &store.Options{ArtifactDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := mk()
+	trs := []*traj.Trajectory{fixture(t, 71, 50), fixture(t, 72, 60)}
+	for _, tr := range trs {
+		if _, _, err := c1.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range trs {
+		c1.Artifacts(artifactReq(tr, 4))
+	}
+	st1 := c1.Stats()
+	if st1.DiskWrites != 4 || st1.DiskArtifacts != 4 {
+		t.Fatalf("spills missing: %+v", st1)
+	}
+	snap := filepath.Join(dir, "registry.snap")
+	if _, err := c1.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mk()
+	if _, err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		if _, _, reused := c2.Artifacts(artifactReq(tr, 4)); reused != 2 {
+			t.Fatalf("warm restart reused %d artifacts, want 2", reused)
+		}
+	}
+	st2 := c2.Stats()
+	if st2.Built != 0 || st2.DiskReads != 4 {
+		t.Fatalf("restart rebuilt instead of promoting: %+v", st2)
+	}
+}

@@ -67,6 +67,16 @@ type Options struct {
 	// every registry access — the check is O(1) when nothing expired —
 	// and purge their artifacts like Remove. Zero or negative disables.
 	TrajectoryTTL time.Duration
+	// ArtifactDir enables the disk artifact tier: every artifact the
+	// store builds is also written (atomically, checksummed) to a
+	// content-addressed file under this directory, cache misses promote
+	// from disk before recomputing, and trajectory evictions purge disk
+	// copies alongside RAM ones. Empty disables the tier. A directory
+	// that cannot be created or scanned disables it too, counted in
+	// Stats.DiskErrors — callers that must fail fast should validate the
+	// path themselves (cmd/motifserve does). See disk.go for the format
+	// and the crash-safety protocol.
+	ArtifactDir string
 }
 
 // EvictCause discriminates why a trajectory left the registry, for the
@@ -111,6 +121,17 @@ type Stats struct {
 	// (zero: unbounded / no expiry).
 	MaxTrajectories int
 	TrajectoryTTL   time.Duration
+	// DiskArtifacts and DiskBytes describe the disk artifact tier
+	// (Options.ArtifactDir): files resident and their total size.
+	// Zero when the tier is disabled.
+	DiskArtifacts int
+	DiskBytes     int64
+	// DiskWrites counts artifacts spilled to disk, DiskReads artifacts
+	// promoted from disk (each promotion also counts as a Reused —
+	// that is what makes a warm restart's counters match a store that
+	// never restarted), and DiskErrors failed writes plus corrupt or
+	// torn files detected and removed on read (the self-heal path).
+	DiskWrites, DiskReads, DiskErrors int64
 }
 
 // GridRebuildsAvoided returns the cumulative constructions skipped by
@@ -127,9 +148,15 @@ const (
 	kindCrossBounds
 	// kindPairDists memoizes the two endpoint ground distances of a
 	// trajectory pair (first-to-first, last-to-last) — the values the
-	// join's filter cascade and cluster membership recompute for every
-	// candidate pair. 16 bytes against the same budget as the grids.
+	// join's filter cascade recomputes for every candidate pair. 16
+	// bytes against the same budget as the grids.
 	kindPairDists
+	// kindPointDists memoizes one ground distance between two points of
+	// a single trajectory — the endpoint values cluster membership
+	// tests recompute for every candidate window. The point indexes are
+	// packed into the key's xi field (i<<32 | j, canonical i <= j).
+	// 8 bytes against the same budget as the grids.
+	kindPointDists
 )
 
 // artifactKey identifies one memoized artifact. b is empty for self
@@ -201,10 +228,16 @@ type Store struct {
 	lru   *list.List // front = most recently used
 	bytes int64
 
-	built, reused, evicted  int64
-	removed                 int64
-	evictedLRU, evictedTTL  int64
-	pairsBuilt, pairsReused int64
+	// disk is the artifact tier behind the LRU (nil: disabled). Its
+	// index is guarded by mu; file I/O runs outside the lock except for
+	// purges (see disk.go).
+	disk *diskTier
+
+	built, reused, evicted            int64
+	removed                           int64
+	evictedLRU, evictedTTL            int64
+	pairsBuilt, pairsReused           int64
+	diskWrites, diskReads, diskErrors int64
 }
 
 // regEntry is one registry-recency element: the id plus its last touch.
@@ -236,7 +269,7 @@ func New(opt *Options) *Store {
 			ttl = opt.TrajectoryTTL
 		}
 	}
-	return &Store{
+	s := &Store{
 		df:       df,
 		dfID:     reflect.ValueOf(df).Pointer(),
 		budget:   budget,
@@ -254,6 +287,18 @@ func New(opt *Options) *Store {
 		cache:    make(map[artifactKey]*entry),
 		lru:      list.New(),
 	}
+	// The disk tier is pointless without a cache to promote into, so a
+	// negative CacheBytes disables both.
+	if opt != nil && opt.ArtifactDir != "" && budget > 0 {
+		disk, healed, failed, err := newDiskTier(opt.ArtifactDir)
+		if err != nil {
+			s.diskErrors++
+		} else {
+			s.disk = disk
+			s.diskErrors += healed + failed
+		}
+	}
+	return s
 }
 
 // hashPoints returns the content ID of a point sequence. Artifact keys
@@ -286,6 +331,17 @@ func hashTrajectory(t *traj.Trajectory) ID {
 	}
 	return ID(hex.EncodeToString(h.Sum(nil)))
 }
+
+// IDFor returns the registry content ID a trajectory would be stored
+// under — the hash Add derives — without touching the store. The shard
+// coordinator routes by it before deciding which shard's Add to call.
+func IDFor(t *traj.Trajectory) ID { return hashTrajectory(t) }
+
+// PointsID returns the geometry content ID of a point sequence — the
+// hash artifact keys are derived from. Artifacts for a trajectory live
+// on the shard its *points* hash routes to (grids ignore timestamps),
+// which can differ from the shard its registry ID routes to.
+func PointsID(pts []geo.Point) ID { return hashPoints(pts) }
 
 // Add registers a trajectory and returns its content ID. created is
 // false when an identical trajectory was already present (the existing
@@ -438,14 +494,7 @@ func (s *Store) evictLocked(id ID, cause EvictCause) bool {
 	delete(s.mbrs, id)
 	pid := s.idForLocked(t.Points)
 	delete(s.hashMemo, dataKey{ptr: &t.Points[0], n: len(t.Points)})
-	for key, e := range s.cache {
-		if key.a == pid || key.b == pid {
-			s.lru.Remove(e.elem)
-			delete(s.cache, key)
-			s.bytes -= e.bytes
-			s.evicted++
-		}
-	}
+	s.purgeArtifactsLocked(pid)
 	switch cause {
 	case EvictLRU:
 		s.evictedLRU++
@@ -455,6 +504,35 @@ func (s *Store) evictLocked(id ID, cause EvictCause) bool {
 		s.removed++
 	}
 	return true
+}
+
+// purgeArtifactsLocked drops every cached artifact — RAM and disk —
+// derived from the geometry pid, returning how many were purged.
+func (s *Store) purgeArtifactsLocked(pid ID) int {
+	n := 0
+	for key, e := range s.cache {
+		if key.a == pid || key.b == pid {
+			s.lru.Remove(e.elem)
+			delete(s.cache, key)
+			s.bytes -= e.bytes
+			s.evicted++
+			n++
+		}
+	}
+	return n + s.diskPurgeLocked(pid)
+}
+
+// PurgeArtifacts drops every cached artifact derived from the geometry
+// pid (a hashPoints/PointsID content hash) without touching the
+// registry. The sharded coordinator needs it: a trajectory registers on
+// the shard its registry ID hashes to, but its artifacts live on the
+// shard its *points* hash routes to, so a Remove must broadcast the
+// artifact purge to the other shards. Returns how many artifacts were
+// purged across both tiers.
+func (s *Store) PurgeArtifacts(pid ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.purgeArtifactsLocked(pid)
 }
 
 // Get returns a registered trajectory, refreshing its recency ("touch
@@ -581,7 +659,7 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked()
-	return Stats{
+	st := Stats{
 		Trajectories:    len(s.trajs),
 		Artifacts:       len(s.cache),
 		CacheBytes:      s.bytes,
@@ -596,7 +674,15 @@ func (s *Store) Stats() Stats {
 		PairDistsReused: s.pairsReused,
 		MaxTrajectories: s.maxTraj,
 		TrajectoryTTL:   s.ttl,
+		DiskWrites:      s.diskWrites,
+		DiskReads:       s.diskReads,
+		DiskErrors:      s.diskErrors,
 	}
+	if s.disk != nil {
+		st.DiskArtifacts = len(s.disk.index)
+		st.DiskBytes = s.disk.bytes
+	}
+	return st
 }
 
 // Artifacts implements core.ArtifactSource: it serves the ground-distance
@@ -646,9 +732,45 @@ func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Re
 			s.lru.MoveToFront(e.elem)
 		}
 	}
+	// Note what the disk tier can supply for the RAM misses; the reads
+	// themselves run outside the lock. (The swapped-pair transpose beats
+	// a disk decode, so it keeps priority — it counts as a build either
+	// way, so the choice never shows up in a counter.)
+	diskGrid := g == nil && swapped == nil && s.diskHasLocked(gk)
+	diskBounds := req.WithBounds && rb == nil && s.diskHasLocked(bk)
 	s.mu.Unlock()
 
-	// Build what is missing outside the lock.
+	// Promote from disk outside the lock. A read failure means the file
+	// was torn or corrupt: readArtifact already deleted it (self-heal),
+	// the index entry is dropped below, and the artifact is recomputed.
+	promotedGrid, promotedBounds := false, false
+	var diskFailed []artifactKey
+	if diskGrid {
+		if payload, err := s.disk.readArtifact(gk); err == nil {
+			if m, derr := dmatrix.Unmarshal(payload); derr == nil && m.Float32() == req.Float32 {
+				g, promotedGrid = m, true
+			} else {
+				s.disk.removeArtifact(gk)
+				diskFailed = append(diskFailed, gk)
+			}
+		} else {
+			diskFailed = append(diskFailed, gk)
+		}
+	}
+	if diskBounds {
+		if payload, err := s.disk.readArtifact(bk); err == nil {
+			if b, derr := bounds.Unmarshal(payload); derr == nil {
+				rb, promotedBounds = b, true
+			} else {
+				s.disk.removeArtifact(bk)
+				diskFailed = append(diskFailed, bk)
+			}
+		} else {
+			diskFailed = append(diskFailed, bk)
+		}
+	}
+
+	// Build what is still missing outside the lock.
 	builtGrid, builtBounds := false, false
 	if g == nil {
 		if swapped != nil {
@@ -670,14 +792,52 @@ func (s *Store) Artifacts(req core.ArtifactRequest) (*dmatrix.Matrix, *bounds.Re
 		builtBounds = true
 	}
 
+	// Write fresh builds through to disk before indexing them, so every
+	// RAM resident has a disk copy and LRU eviction is demotion for
+	// free. size < 0 marks a failed (or disabled-tier) spill.
+	var spilledGrid, spilledBounds int64 = -1, -1
+	if builtGrid {
+		spilledGrid = s.spill(gk, g.Marshal())
+	}
+	if builtBounds {
+		spilledBounds = s.spill(bk, rb.Marshal())
+	}
+
 	s.mu.Lock()
+	for _, k := range diskFailed {
+		s.diskDropLocked(k)
+	}
+	if promotedGrid {
+		// A promotion is a construction skipped, exactly like a RAM hit
+		// — that equivalence is the warm-restart parity argument.
+		s.reused++
+		reused++
+		s.diskReads++
+		s.insertLocked(gk, g, g.Bytes())
+	}
+	if promotedBounds {
+		s.reused++
+		reused++
+		s.diskReads++
+		s.insertLocked(bk, rb, rb.Bytes())
+	}
 	if builtGrid {
 		s.built++
 		s.insertLocked(gk, g, g.Bytes())
+		if spilledGrid >= 0 {
+			s.diskRecordLocked(gk, spilledGrid)
+		} else if s.disk != nil {
+			s.diskErrors++
+		}
 	}
 	if builtBounds {
 		s.built++
 		s.insertLocked(bk, rb, rb.Bytes())
+		if spilledBounds >= 0 {
+			s.diskRecordLocked(bk, spilledBounds)
+		} else if s.disk != nil {
+			s.diskErrors++
+		}
 	}
 	s.mu.Unlock()
 	return g, rb, reused
@@ -712,15 +872,116 @@ func (s *Store) EndpointDists(ts []*traj.Trajectory) func(i, j int) (d0, dn floa
 			s.mu.Unlock()
 			return d[0], d[1], true
 		}
+		onDisk := s.diskHasLocked(k)
 		s.mu.Unlock()
+		if onDisk {
+			if d, ok := s.promotePair(k, 2); ok {
+				return d[0], d[1], true
+			}
+		}
 		a, b := ts[i].Points, ts[j].Points
 		d0 := s.df(a[0], b[0])
 		dn := s.df(a[len(a)-1], b[len(b)-1])
+		size := s.spill(k, encodeFloats(d0, dn))
 		s.mu.Lock()
 		s.pairsBuilt++
 		s.insertLocked(k, [2]float64{d0, dn}, 16)
+		if size >= 0 {
+			s.diskRecordLocked(k, size)
+		} else if s.disk != nil {
+			s.diskErrors++
+		}
 		s.mu.Unlock()
 		return d0, dn, true
+	}
+}
+
+// promotePair loads an n-float distance memo from the disk tier into the
+// RAM cache, counting it as a pair-memo reuse (the same equivalence the
+// grid promotion path relies on). A failed read or decode drops the
+// index entry and reports a miss so the caller recomputes.
+func (s *Store) promotePair(k artifactKey, n int) ([]float64, bool) {
+	payload, err := s.disk.readArtifact(k)
+	var vals []float64
+	if err == nil {
+		vals, err = decodeFloats(payload, n)
+		if err != nil {
+			s.disk.removeArtifact(k)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.diskDropLocked(k)
+		return nil, false
+	}
+	s.pairsReused++
+	s.diskReads++
+	switch n {
+	case 1:
+		s.insertLocked(k, vals[0], 8)
+	case 2:
+		s.insertLocked(k, [2]float64{vals[0], vals[1]}, 16)
+	}
+	return vals, true
+}
+
+// PointDists returns a memoizing supplier of intra-trajectory point
+// ground distances in the shape cluster.Options.EndpointDists consumes:
+// given point indexes i, j into pts it returns df(pts[i], pts[j]),
+// serving repeats from the artifact cache under the trajectory's
+// point-content ID with the canonical (min, max) index pair packed into
+// the key — the same key space evictLocked purges. Cached values are
+// the exact float64s direct evaluation produces (HaversinePrepared is
+// bit-identical to Haversine), so cluster results are byte-identical
+// with or without the memo. Returns nil when caching is disabled.
+func (s *Store) PointDists(pts []geo.Point) func(i, j int) (float64, bool) {
+	if s.budget <= 0 || len(pts) == 0 {
+		return nil
+	}
+	var once sync.Once
+	var pid ID
+	return func(i, j int) (float64, bool) {
+		if i > j {
+			i, j = j, i
+		}
+		if i < 0 || j >= len(pts) || j >= 1<<31 {
+			// Out of range (caller bug) or unpackable into the key:
+			// compute directly, uncached — correct, just unmemoized.
+			if i < 0 || j >= len(pts) {
+				return 0, false
+			}
+			return s.df(pts[i], pts[j]), true
+		}
+		once.Do(func() { pid = hashPoints(pts) })
+		k := artifactKey{kind: kindPointDists, a: pid, xi: i<<32 | j}
+		s.mu.Lock()
+		if e, ok := s.cache[k]; ok {
+			d := e.val.(float64)
+			s.lru.MoveToFront(e.elem)
+			s.pairsReused++
+			s.mu.Unlock()
+			return d, true
+		}
+		onDisk := s.diskHasLocked(k)
+		s.mu.Unlock()
+		if onDisk {
+			if d, ok := s.promotePair(k, 1); ok {
+				return d[0], true
+			}
+		}
+		d := s.df(pts[i], pts[j])
+		size := s.spill(k, encodeFloats(d))
+		s.mu.Lock()
+		s.pairsBuilt++
+		s.insertLocked(k, d, 8)
+		if size >= 0 {
+			s.diskRecordLocked(k, size)
+		} else if s.disk != nil {
+			s.diskErrors++
+		}
+		s.mu.Unlock()
+		return d, true
 	}
 }
 

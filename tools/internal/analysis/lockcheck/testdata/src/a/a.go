@@ -60,6 +60,54 @@ func (p *NoMu) addLocked() { p.n++ }
 
 func UseNoMu(p *NoMu) { p.addLocked() }
 
+// The shard-coordinator shape (internal/shard): a fan-out type whose
+// own mutex guards routing state while each sub-store keeps its own
+// lock. The coordinator's *Locked methods follow the usual contract,
+// and holding the coordinator's mutex licenses only them — never a
+// sub-store's *Locked methods.
+type Sub struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Sub) addLocked() { s.n++ }
+
+type Coord struct {
+	mu    sync.Mutex
+	subs  []*Sub
+	order []int
+}
+
+func (c *Coord) dropFromOrderLocked(i int) {
+	c.order = append(c.order[:i], c.order[i+1:]...)
+}
+
+func (c *Coord) Remove(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropFromOrderLocked(i)
+}
+
+// The coordinator's lock is not the sub-store's lock.
+func (c *Coord) BroadcastUnheld() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
+		sub.addLocked() // want `call to addLocked without sub\.mu held`
+	}
+}
+
+// The correct fan-out acquires each sub-store's own mutex.
+func (c *Coord) Broadcast() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
+		sub.mu.Lock()
+		sub.addLocked()
+		sub.mu.Unlock()
+	}
+}
+
 // An RWMutex read lock also satisfies the caller-side rule.
 type R struct {
 	mu sync.RWMutex
